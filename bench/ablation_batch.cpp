@@ -1,0 +1,42 @@
+// Ablation — driver batch size vs LLHJ latency (DESIGN.md Section 5).
+// Section 7.3 of the paper identifies batching as the dominant latency
+// source of LLHJ; this sweep makes the dependence explicit: average
+// latency should track ~ batch / (2 * rate), down to the pipeline floor.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double window_s = flags.Double("window", 4.0);
+  const double rate = flags.Double("rate", 3000.0);
+  const int nodes = static_cast<int>(flags.Int("nodes", 4));
+  const double duration = flags.Double("duration", 8.0);
+
+  PrintHeader("ablation_batch — LLHJ latency vs driver batch size",
+              "Section 7.3 / 7.3.1 (batching as the latency floor)");
+  std::printf("windows %.0f s, rate %.0f tuples/s/stream, %d nodes\n\n",
+              window_s, rate, nodes);
+  std::printf("%8s  %18s  %14s  %14s  %14s\n", "batch", "batch fill (ms)",
+              "avg (ms)", "max (ms)", "results");
+
+  for (int batch : {4, 16, 64, 256}) {
+    Workload workload;
+    workload.wr = WindowSpec::Time(static_cast<int64_t>(window_s * 1e6));
+    workload.ws = workload.wr;
+    workload.rate_per_stream = rate;
+    workload.paced = true;
+
+    RunStats stats = RunLlhjBench(nodes, workload, batch, duration);
+    std::printf("%8d  %18.2f  %14.3f  %14.3f  %14llu\n", batch,
+                batch / (2.0 * rate) * 1e3, stats.latency_ms.mean(),
+                stats.latency_ms.max(),
+                static_cast<unsigned long long>(stats.results));
+  }
+  std::printf("\nexpected: avg latency roughly proportional to batch size "
+              "(half the fill interval plus pipeline costs).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation — home-node assignment policy (DESIGN.md Section 5). The paper
+// uses round-robin "to ensure even load balancing" (Section 4.3) and notes
+// it beats the original self-balancing code. This sweep compares
+// round-robin, block, and hash assignment: throughput plus the imbalance of
+// stored tuples across node-local windows.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+namespace {
+
+struct PolicyResult {
+  double throughput = 0;
+  std::size_t min_store = 0;
+  std::size_t max_store = 0;
+};
+
+PolicyResult RunPolicy(HomePolicy policy, int nodes, int64_t window,
+                       int batch, double duration) {
+  Workload workload;
+  workload.wr = WindowSpec::Count(window);
+  workload.ws = WindowSpec::Count(window);
+  workload.paced = false;
+
+  typename LlhjPipeline<RTuple, STuple, BandPredicate>::Options options;
+  options.nodes = nodes;
+  options.home_policy = policy;
+  LlhjPipeline<RTuple, STuple, BandPredicate> pipeline(options);
+  RunStats stats = RunPipelineBench(pipeline, workload, batch, duration);
+
+  PolicyResult out;
+  out.throughput = stats.throughput_per_stream();
+  out.min_store = static_cast<std::size_t>(-1);
+  for (int k = 0; k < nodes; ++k) {
+    const std::size_t size =
+        pipeline.node(k).r_store().size() + pipeline.node(k).s_store().size();
+    out.min_store = std::min(out.min_store, size);
+    out.max_store = std::max(out.max_store, size);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int nodes = static_cast<int>(flags.Int("nodes", 4));
+  const int64_t window = flags.Int("window_tuples", 20'000);
+  const double duration = flags.Double("duration", 4.0);
+  const int batch = static_cast<int>(flags.Int("batch", 64));
+
+  PrintHeader("ablation_home_policy — LLHJ home-node assignment policies",
+              "Section 4.3 (round-robin default)");
+  std::printf("%d nodes, count window %lld tuples\n\n", nodes,
+              static_cast<long long>(window));
+  std::printf("%-12s  %16s  %14s  %14s\n", "policy", "tput (t/s)",
+              "min store", "max store");
+
+  const struct {
+    HomePolicy policy;
+    const char* name;
+  } policies[] = {{HomePolicy::kRoundRobin, "round-robin"},
+                  {HomePolicy::kBlock, "block"},
+                  {HomePolicy::kHash, "hash"}};
+  for (const auto& p : policies) {
+    PolicyResult r = RunPolicy(p.policy, nodes, window, batch, duration);
+    std::printf("%-12s  %16.0f  %14zu  %14zu\n", p.name, r.throughput,
+                r.min_store, r.max_store);
+  }
+  std::printf("\nexpected: round-robin keeps stores near-perfectly "
+              "balanced; block is balanced at window scale; hash is "
+              "balanced in expectation. Throughput differences are small "
+              "because scan work is proportional to store sizes.\n");
+  return 0;
+}

@@ -1,0 +1,260 @@
+// Shared benchmark harness: flag parsing, the paper's band-join workload,
+// and a threaded pipeline runner that measures throughput and latency the
+// way the paper does (Section 7.1):
+//
+//  * streams R and S with symmetric rates, join attributes uniform in
+//    1..10000 (band join, ~1:250,000 hit rate);
+//  * a driver that batches tuples (64 by default) before pushing them into
+//    the pipeline — batching delay is part of measured latency;
+//  * throughput experiments feed at maximum rate against backpressure
+//    ("max sustained throughput without dropping data");
+//  * latency experiments pace arrivals against the wall clock and report
+//    per-second average/maximum latency (Figures 5, 19, 20).
+//
+// All binaries accept --key=value flags; every experiment prints its scaled
+// configuration so EXPERIMENTS.md can record paper-vs-measured faithfully.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/schema.hpp"
+#include "core/stream_joiner.hpp"
+#include "hsj/hsj_pipeline.hpp"
+#include "llhj/llhj_pipeline.hpp"
+#include "runtime/executor.hpp"
+#include "stream/collector.hpp"
+#include "stream/feeder.hpp"
+#include "stream/generator.hpp"
+#include "stream/handlers.hpp"
+#include "stream/latency_model.hpp"
+#include "stream/sorter.hpp"
+#include "stream/source.hpp"
+
+namespace sjoin::bench {
+
+/// --key=value command-line flags with typed accessors.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_.emplace_back(arg, "1");
+      } else {
+        kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  int64_t Int(const std::string& name, int64_t def) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? def : std::strtoll(v->c_str(), nullptr, 10);
+  }
+
+  double Double(const std::string& name, double def) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? def : std::strtod(v->c_str(), nullptr);
+  }
+
+  std::string Str(const std::string& name, const std::string& def) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? def : *v;
+  }
+
+  bool Bool(const std::string& name, bool def) const {
+    const std::string* v = Find(name);
+    if (v == nullptr) return def;
+    return *v != "0" && *v != "false";
+  }
+
+ private:
+  const std::string* Find(const std::string& name) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Workload configuration shared by the figure benches.
+struct Workload {
+  WindowSpec wr = WindowSpec::Count(20'000);
+  WindowSpec ws = WindowSpec::Count(20'000);
+  double rate_per_stream = 3000.0;  ///< tuples/sec/stream when paced
+  int64_t key_domain = kPaperKeyDomain;
+  uint64_t seed = 42;
+  bool paced = false;
+
+  int64_t period_us() const {
+    // Gap between *consecutive* arrivals (R and S alternate).
+    const double per_second = 2.0 * rate_per_stream;
+    return per_second <= 0 ? 1
+                           : static_cast<int64_t>(1e6 / per_second + 0.5);
+  }
+};
+
+inline std::unique_ptr<GeneratedSource<RTuple, STuple>> MakeBandSource(
+    const Workload& workload) {
+  typename GeneratedSource<RTuple, STuple>::Options options;
+  options.wr = workload.wr;
+  options.ws = workload.ws;
+  options.period_us = workload.period_us();
+  options.seed = workload.seed;
+  const int64_t domain = workload.key_domain;
+  return std::make_unique<GeneratedSource<RTuple, STuple>>(
+      [domain](Rng& rng) { return MakeBandR(rng, domain); },
+      [domain](Rng& rng) { return MakeBandS(rng, domain); }, options);
+}
+
+/// Outcome of one timed pipeline run.
+struct RunStats {
+  double wall_seconds = 0.0;
+  uint64_t arrivals_r = 0;
+  uint64_t arrivals_s = 0;
+  uint64_t results = 0;
+  uint64_t punctuations = 0;
+  RunningStat latency_ms;          ///< per-result latency
+  TimeSeriesStat latency_series;   ///< 1-second buckets
+  std::size_t max_sorter_buffer = 0;
+  uint64_t anomalies = 0;
+
+  RunStats() : latency_series(1'000'000'000) {}
+
+  double throughput_per_stream() const {
+    const double total = static_cast<double>(arrivals_r + arrivals_s) / 2.0;
+    return wall_seconds <= 0 ? 0.0 : total / wall_seconds;
+  }
+};
+
+/// Runs `pipeline` threaded against a band workload for `duration_s`.
+/// The collector runs on the calling thread. When `sort_output` is true a
+/// PunctuationSorter is placed behind the collector (requires punctuate).
+template <typename Pipeline>
+RunStats RunPipelineBench(Pipeline& pipeline, const Workload& workload,
+                          int batch_size, double duration_s,
+                          bool sort_output = false) {
+  auto source = MakeBandSource(workload);
+  typename Feeder<RTuple, STuple>::Options feeder_options;
+  feeder_options.batch_size = batch_size;
+  feeder_options.paced = workload.paced;
+  Feeder<RTuple, STuple> feeder(pipeline.ports(), source.get(),
+                                feeder_options);
+
+  CountingHandler<RTuple, STuple> counter;
+  PunctuationSorter<RTuple, STuple> sorter(&counter);
+  OutputHandler<RTuple, STuple>* tail = &counter;
+  if (sort_output) tail = &sorter;
+  LatencyRecorder<RTuple, STuple> latency(tail);
+  auto collector = pipeline.MakeCollector(&latency);
+
+  ThreadedExecutor executor;
+  executor.Add(&feeder);
+  for (auto* node : pipeline.nodes()) executor.Add(node);
+
+  const int64_t start = NowNs();
+  latency.Anchor(start);
+  executor.Start();
+
+  const int64_t deadline =
+      start + static_cast<int64_t>(duration_s * 1e9);
+  while (NowNs() < deadline) {
+    if (collector->VacuumOnce() == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  feeder.RequestStop();
+  // Let in-flight messages settle, then stop.
+  const int64_t settle_deadline = NowNs() + 500'000'000;
+  while (!feeder.finished() && NowNs() < settle_deadline) {
+    collector->VacuumOnce();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (int i = 0; i < 50; ++i) {
+    collector->VacuumOnce();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const int64_t end = NowNs();
+  executor.Stop();
+  collector->VacuumOnce();
+
+  RunStats stats;
+  stats.wall_seconds = NsToSec(end - start);
+  stats.arrivals_r = feeder.arrivals_pushed(StreamSide::kR);
+  stats.arrivals_s = feeder.arrivals_pushed(StreamSide::kS);
+  stats.results = collector->total_collected();
+  stats.punctuations = collector->punctuations_emitted();
+  stats.latency_ms = latency.overall();
+  stats.latency_series = latency.series();
+  stats.max_sorter_buffer = sorter.max_buffered();
+  stats.anomalies = pipeline.total_anomalies();
+  return stats;
+}
+
+/// Convenience: builds and runs an HSJ pipeline on the band workload.
+/// Segments self-balance; `window_tuples` bounds the entry channels so the
+/// driver cannot run a window ahead of the pipeline (bounded-lag regime).
+inline RunStats RunHsjBench(int nodes, const Workload& workload,
+                            int64_t window_tuples, int batch,
+                            double duration_s) {
+  typename HsjPipeline<RTuple, STuple, BandPredicate>::Options options;
+  options.nodes = nodes;
+  options.channel_capacity = static_cast<std::size_t>(
+      std::max<int64_t>(64, std::min<int64_t>(1024, window_tuples / 4)));
+  HsjPipeline<RTuple, STuple, BandPredicate> pipeline(options);
+  return RunPipelineBench(pipeline, workload, batch, duration_s);
+}
+
+/// Convenience: builds and runs an LLHJ pipeline on the band workload.
+inline RunStats RunLlhjBench(int nodes, const Workload& workload, int batch,
+                             double duration_s, bool punctuate = false,
+                             bool sort_output = false) {
+  typename LlhjPipeline<RTuple, STuple, BandPredicate>::Options options;
+  options.nodes = nodes;
+  options.punctuate = punctuate || sort_output;
+  LlhjPipeline<RTuple, STuple, BandPredicate> pipeline(options);
+  return RunPipelineBench(pipeline, workload, batch, duration_s, sort_output);
+}
+
+/// Derives the expected live-window size in tuples for a time window.
+inline int64_t WindowTuples(const WindowSpec& spec, double rate_per_stream) {
+  if (spec.is_count()) return spec.size;
+  return static_cast<int64_t>(static_cast<double>(spec.size) / 1e6 *
+                              rate_per_stream);
+}
+
+/// Prints the per-second latency series in the Figure 5/19/20 format.
+inline void PrintLatencySeries(const RunStats& stats) {
+  std::printf("  %6s  %12s  %12s  %12s  %10s\n", "sec", "avg(ms)", "max(ms)",
+              "stddev(ms)", "results");
+  const auto& buckets = stats.latency_series.buckets();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto& b = buckets[i];
+    if (b.count() == 0) continue;
+    std::printf("  %6zu  %12.3f  %12.3f  %12.3f  %10llu\n", i, b.mean(),
+                b.max(), b.stddev(),
+                static_cast<unsigned long long>(b.count()));
+  }
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace sjoin::bench

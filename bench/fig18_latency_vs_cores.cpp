@@ -1,0 +1,66 @@
+// Figure 18 — average result latency vs. number of processing cores,
+// original handshake join vs. LLHJ, on a time-based window (paper: 15 min,
+// log-scale y axis spanning 4 orders of magnitude).
+//
+// Scaled default: 6 s windows at 2000 tuples/s/stream. Expected shape: HSJ
+// average latency sits at window scale (seconds) regardless of core count;
+// LLHJ sits at batching scale (milliseconds) — orders of magnitude below.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double window_s = flags.Double("window", 6.0);
+  const double rate = flags.Double("rate", 2000.0);
+  const double duration = flags.Double("duration", 15.0);
+  const int batch = static_cast<int>(flags.Int("batch", 64));
+  std::vector<int> node_counts;
+  {
+    const std::string list = flags.Str("nodes", "2,4,8");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      node_counts.push_back(std::atoi(list.c_str() + pos));
+      const auto comma = list.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  PrintHeader("fig18_latency_vs_cores — avg latency, HSJ vs LLHJ",
+              "Figure 18 (15 min window in the paper, scaled here)");
+  std::printf("scaling: paper window 15 min -> %.0f s; rate %.0f "
+              "tuples/s/stream; run %.0f s per cell\n",
+              window_s, rate, duration);
+  std::printf("\n%6s  %22s  %22s  %12s\n", "nodes", "handshake avg (ms)",
+              "llhj avg (ms)", "ratio");
+
+  for (int nodes : node_counts) {
+    Workload workload;
+    workload.wr = WindowSpec::Time(static_cast<int64_t>(window_s * 1e6));
+    workload.ws = workload.wr;
+    workload.rate_per_stream = rate;
+    workload.paced = true;
+
+    const int64_t window_tuples = WindowTuples(workload.wr, rate);
+    RunStats hsj =
+        RunHsjBench(nodes, workload, window_tuples, batch, duration);
+    RunStats llhj = RunLlhjBench(nodes, workload, batch, duration);
+
+    const double ratio = llhj.latency_ms.mean() > 0
+                             ? hsj.latency_ms.mean() / llhj.latency_ms.mean()
+                             : 0.0;
+    std::printf("%6d  %22.2f  %22.3f  %11.0fx\n", nodes,
+                hsj.latency_ms.mean(), llhj.latency_ms.mean(), ratio);
+  }
+  std::printf("\nexpected shape: handshake join sits at window scale "
+              "(~%.0f ms avg, insensitive to cores); llhj sits at batch "
+              "scale (~batch/arrival-rate ms). Paper reports ~4 orders of "
+              "magnitude at 15 min windows; the gap here shrinks with the "
+              "window scaling factor.\n",
+              window_s * 1e3 / 4);
+  return 0;
+}

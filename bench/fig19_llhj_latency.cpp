@@ -1,0 +1,61 @@
+// Figure 19 — latency distribution of *low-latency* handshake join over
+// wall-clock time for the two window configurations of Figure 5, with the
+// default batch size of 64.
+//
+// Expected shape (paper): average latency below ~10 ms and maxima around
+// 30 ms, insensitive to the window configuration — three orders of
+// magnitude below Figure 5 — dominated by the driver's batching delay
+// (batch 64 at rate 2λ fills every 64/(2 λ) seconds).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+namespace {
+
+void RunConfig(const char* label, double wr_s, double ws_s, double rate,
+               int nodes, int batch, double duration_s, uint64_t seed) {
+  Workload workload;
+  workload.wr = WindowSpec::Time(static_cast<int64_t>(wr_s * 1e6));
+  workload.ws = WindowSpec::Time(static_cast<int64_t>(ws_s * 1e6));
+  workload.rate_per_stream = rate;
+  workload.paced = true;
+  workload.seed = seed;
+
+  const double batch_interval_ms = batch / (2.0 * rate) * 1e3;
+  std::printf("\n-- Fig 19(%s): |W_R| = %.0f s, |W_S| = %.0f s, batch %d "
+              "(fills every ~%.1f ms) --\n",
+              label, wr_s, ws_s, batch, batch_interval_ms);
+
+  RunStats stats = RunLlhjBench(nodes, workload, batch, duration_s);
+  PrintLatencySeries(stats);
+  std::printf("overall: avg %.3f ms, max %.3f ms, stddev %.3f ms, "
+              "%llu results\n",
+              stats.latency_ms.mean(), stats.latency_ms.max(),
+              stats.latency_ms.stddev(),
+              static_cast<unsigned long long>(stats.results));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double window_s = flags.Double("window", 8.0);
+  const double rate = flags.Double("rate", 3000.0);
+  const int nodes = static_cast<int>(flags.Int("nodes", 4));
+  const int batch = static_cast<int>(flags.Int("batch", 64));
+  const double duration = flags.Double("duration", 20.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42));
+
+  PrintHeader("fig19_llhj_latency — LLHJ latency over time, batch 64",
+              "Figure 19 (a), (b)");
+  std::printf("scaling: paper windows 200 s/100 s -> %.0f s/%.0f s "
+              "(latency should be window-insensitive either way)\n",
+              window_s, window_s / 2);
+
+  RunConfig("a", window_s, window_s, rate, nodes, batch, duration, seed);
+  RunConfig("b", window_s / 2, window_s, rate, nodes, batch, duration, seed);
+  return 0;
+}

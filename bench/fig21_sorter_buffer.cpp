@@ -1,0 +1,65 @@
+// Figure 21 — maximum buffer occupancy (in tuples) of the downstream
+// sorting operator when it consumes the *punctuated* LLHJ result stream,
+// with increasing core counts.
+//
+// Expected shape (paper): tens of thousands of tuples at most — versus the
+// ~30 million tuples a sorter would need to buffer without punctuations
+// (Section 6.2's back-of-envelope for the paper's configuration). We also
+// print that no-punctuation estimate for the scaled configuration.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double window_s = flags.Double("window", 4.0);
+  const double rate = flags.Double("rate", 3000.0);
+  const double duration = flags.Double("duration", 8.0);
+  const int batch = static_cast<int>(flags.Int("batch", 64));
+  std::vector<int> node_counts;
+  {
+    const std::string list = flags.Str("nodes", "1,2,4,8");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      node_counts.push_back(std::atoi(list.c_str() + pos));
+      const auto comma = list.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  PrintHeader("fig21_sorter_buffer — max sort buffer with punctuations",
+              "Figure 21");
+  std::printf("windows %.0f s, rate %.0f tuples/s/stream, batch %d\n",
+              window_s, rate, batch);
+
+  std::printf("\n%6s  %16s  %14s  %14s\n", "nodes", "max |buffer|",
+              "results", "punctuations");
+  double output_rate = 0;
+  for (int nodes : node_counts) {
+    Workload workload;
+    workload.wr = WindowSpec::Time(static_cast<int64_t>(window_s * 1e6));
+    workload.ws = workload.wr;
+    workload.rate_per_stream = rate;
+    workload.paced = true;
+
+    RunStats stats = RunLlhjBench(nodes, workload, batch, duration,
+                                  /*punctuate=*/true, /*sort_output=*/true);
+    std::printf("%6d  %16zu  %14llu  %14llu\n", nodes,
+                stats.max_sorter_buffer,
+                static_cast<unsigned long long>(stats.results),
+                static_cast<unsigned long long>(stats.punctuations));
+    output_rate = stats.results / stats.wall_seconds;
+  }
+
+  // Without punctuations a sorter must buffer ~latency-bound x output rate;
+  // for HSJ that is the window-scale bound of Section 3.1.
+  const double hsj_delay_s = HsjMaxLatencyBound(window_s, window_s);
+  std::printf("\nwithout punctuations (HSJ + sort, Section 6.2 estimate): "
+              "~%.0f tuples buffered (%.1f s delay x %.0f results/s)\n",
+              hsj_delay_s * output_rate, hsj_delay_s, output_rate);
+  return 0;
+}

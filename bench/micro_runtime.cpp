@@ -1,0 +1,135 @@
+// Microbenchmarks of the runtime substrate (google-benchmark): FIFO channel
+// operations (the paper cites sub-microsecond core-to-core hops [4]),
+// window scans, hash-index probes, and store maintenance.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/schema.hpp"
+#include "llhj/store.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "stream/generator.hpp"
+#include "stream/message.hpp"
+
+namespace sjoin {
+namespace {
+
+void BM_SpscPushPop(benchmark::State& state) {
+  SpscQueue<FlowMsg<RTuple>> queue(1024);
+  FlowMsg<RTuple> msg;
+  FlowMsg<RTuple> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.TryPush(msg));
+    benchmark::DoNotOptimize(queue.TryPop(&out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscPushPop);
+
+void BM_SpscCrossThreadHop(benchmark::State& state) {
+  // Round-trip ping/pong across two threads approximates 2x the one-hop
+  // channel latency cited from Baumann et al. [4].
+  SpscQueue<uint64_t> ping(64);
+  SpscQueue<uint64_t> pong(64);
+  std::atomic<bool> stop{false};
+  std::thread echo([&] {
+    uint64_t v;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (ping.TryPop(&v)) {
+        while (!pong.TryPush(v)) {
+        }
+      }
+    }
+  });
+  uint64_t v = 0;
+  for (auto _ : state) {
+    while (!ping.TryPush(v)) {
+    }
+    uint64_t r;
+    while (!pong.TryPop(&r)) {
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  stop.store(true, std::memory_order_release);
+  echo.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscCrossThreadHop);
+
+void BM_WindowScanBand(benchmark::State& state) {
+  const int64_t window = state.range(0);
+  Rng rng(1);
+  VectorStore<STuple> store;
+  for (int64_t i = 0; i < window; ++i) {
+    Stamped<STuple> s{MakeBandS(rng), static_cast<Seq>(i), 0, 0};
+    store.Insert(s, false);
+  }
+  BandPredicate pred;
+  RTuple r = MakeBandR(rng);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    store.ForEach(r, [&](const StoreEntry<STuple>& e) {
+      matches += pred(r, e.tuple.value) ? 1 : 0;
+    });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_WindowScanBand)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_HashProbeEqui(benchmark::State& state) {
+  const int64_t window = state.range(0);
+  Rng rng(1);
+  HashStore<STuple, SKey, RKey> store;
+  for (int64_t i = 0; i < window; ++i) {
+    Stamped<STuple> s{MakeBandS(rng), static_cast<Seq>(i), 0, 0};
+    store.Insert(s, false);
+  }
+  EquiPredicate pred;
+  RTuple r = MakeBandR(rng);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    store.ForEach(r, [&](const StoreEntry<STuple>& e) {
+      matches += pred(r, e.tuple.value) ? 1 : 0;
+    });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashProbeEqui)->Arg(16384)->Arg(131072);
+
+void BM_StoreInsertEraseCycle(benchmark::State& state) {
+  Rng rng(1);
+  VectorStore<STuple> store;
+  Seq seq = 0;
+  for (int i = 0; i < 1024; ++i) {
+    store.Insert(Stamped<STuple>{MakeBandS(rng), seq++, 0, 0}, false);
+  }
+  Seq oldest = 0;
+  for (auto _ : state) {
+    store.Insert(Stamped<STuple>{MakeBandS(rng), seq++, 0, 0}, false);
+    benchmark::DoNotOptimize(store.EraseSeq(oldest++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreInsertEraseCycle);
+
+void BM_HashStoreInsertEraseCycle(benchmark::State& state) {
+  Rng rng(1);
+  HashStore<STuple, SKey, RKey> store;
+  Seq seq = 0;
+  for (int i = 0; i < 1024; ++i) {
+    store.Insert(Stamped<STuple>{MakeBandS(rng), seq++, 0, 0}, false);
+  }
+  Seq oldest = 0;
+  for (auto _ : state) {
+    store.Insert(Stamped<STuple>{MakeBandS(rng), seq++, 0, 0}, false);
+    benchmark::DoNotOptimize(store.EraseSeq(oldest++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashStoreInsertEraseCycle);
+
+}  // namespace
+}  // namespace sjoin

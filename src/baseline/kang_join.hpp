@@ -1,0 +1,107 @@
+// Kang's three-step procedure (paper Section 2.1, Kang et al. [10]): the
+// sequential sliding-window join. For every arriving tuple the opposite
+// window is scanned, expired tuples are removed, and the tuple is inserted
+// into its own window. Latency-optimal but single-threaded.
+//
+// Besides being the historical baseline, this implementation is the *test
+// oracle*: all engines consume the same driver script, and KangJoin's
+// output set defines correctness (DESIGN.md Section 3).
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "stream/message.hpp"
+#include "stream/script.hpp"
+#include "stream/sink.hpp"
+
+namespace sjoin {
+
+template <typename R, typename S, typename Pred,
+          typename Sink = VectorSink<R, S>>
+class KangJoin {
+ public:
+  explicit KangJoin(Sink* sink, Pred pred = Pred{})
+      : sink_(sink), pred_(pred) {}
+
+  /// Applies one driver event (arrival or expiry; flushes are no-ops —
+  /// Kang's matching is purely arrival-driven).
+  void OnEvent(const DriverEvent<R, S>& event) {
+    switch (event.op) {
+      case DriverOp::kArriveR: {
+        Stamped<R> r{event.r, event.seq, event.ts, NowNs()};
+        for (const auto& s : ws_) {                      // step 1: scan
+          if (pred_(r.value, s.value)) {
+            sink_->Emit(MakeResult(r, s, kNoNode));
+          }
+        }
+        wr_.push_back(r);                                // step 3: insert
+        break;
+      }
+      case DriverOp::kArriveS: {
+        Stamped<S> s{event.s, event.seq, event.ts, NowNs()};
+        for (const auto& r : wr_) {
+          if (pred_(r.value, s.value)) {
+            sink_->Emit(MakeResult(r, s, kNoNode));
+          }
+        }
+        ws_.push_back(s);
+        break;
+      }
+      case DriverOp::kExpireR:                           // step 2: invalidate
+        Erase(wr_, event.seq);
+        break;
+      case DriverOp::kExpireS:
+        Erase(ws_, event.seq);
+        break;
+      case DriverOp::kFlushR:
+      case DriverOp::kFlushS:
+        break;
+    }
+  }
+
+  void RunScript(const DriverScript<R, S>& script) {
+    for (const auto& event : script.events) OnEvent(event);
+  }
+
+  std::size_t window_size(StreamSide side) const {
+    return side == StreamSide::kR ? wr_.size() : ws_.size();
+  }
+
+ private:
+  template <typename T>
+  static void Erase(std::deque<Stamped<T>>& window, Seq seq) {
+    // The driver expires oldest-first, so the front is the common case.
+    if (!window.empty() && window.front().seq == seq) {
+      window.pop_front();
+      return;
+    }
+    for (auto it = window.begin(); it != window.end(); ++it) {
+      if (it->seq == seq) {
+        window.erase(it);
+        return;
+      }
+    }
+    assert(false && "expiry for unknown tuple");
+  }
+
+  Sink* sink_;
+  Pred pred_;
+  std::deque<Stamped<R>> wr_;
+  std::deque<Stamped<S>> ws_;
+};
+
+/// Convenience oracle: runs a script through KangJoin, returns all results.
+template <typename R, typename S, typename Pred>
+std::vector<ResultMsg<R, S>> RunKangOracle(const DriverScript<R, S>& script,
+                                           Pred pred = Pred{}) {
+  VectorSink<R, S> sink;
+  KangJoin<R, S, Pred> join(&sink, pred);
+  join.RunScript(script);
+  return sink.results();
+}
+
+}  // namespace sjoin

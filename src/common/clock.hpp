@@ -1,0 +1,20 @@
+// Wall-clock access used only for latency measurement and pacing — never for
+// join semantics (those use driver-assigned event time).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sjoin {
+
+/// Monotonic wall clock in nanoseconds.
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double NsToMs(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+inline double NsToSec(int64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace sjoin

@@ -1,0 +1,59 @@
+// Fixed-capacity inline string. The benchmark schema of the paper carries a
+// char[20] payload in every R tuple; tuples must stay trivially copyable so
+// they can travel through lock-free FIFO channels, which rules out
+// std::string.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace sjoin {
+
+/// Trivially copyable string with at most N characters (not necessarily
+/// NUL-terminated at capacity, like the paper's char[20] field).
+template <std::size_t N>
+class FixedString {
+ public:
+  FixedString() { std::memset(data_, 0, N); }
+
+  explicit FixedString(std::string_view s) {
+    std::memset(data_, 0, N);
+    Assign(s);
+  }
+
+  void Assign(std::string_view s) {
+    std::size_t n = std::min(s.size(), N);
+    std::memcpy(data_, s.data(), n);
+    if (n < N) std::memset(data_ + n, 0, N - n);
+  }
+
+  /// Length up to the first NUL (or N if none).
+  std::size_t size() const {
+    const void* nul = std::memchr(data_, 0, N);
+    return nul == nullptr ? N
+                          : static_cast<std::size_t>(
+                                static_cast<const char*>(nul) - data_);
+  }
+
+  static constexpr std::size_t capacity() { return N; }
+
+  std::string_view view() const { return std::string_view(data_, size()); }
+  std::string str() const { return std::string(view()); }
+
+  const char* data() const { return data_; }
+
+  friend bool operator==(const FixedString& a, const FixedString& b) {
+    return std::memcmp(a.data_, b.data_, N) == 0;
+  }
+  friend bool operator!=(const FixedString& a, const FixedString& b) {
+    return !(a == b);
+  }
+
+ private:
+  char data_[N];
+};
+
+}  // namespace sjoin

@@ -1,0 +1,83 @@
+// The benchmark schemas and join predicates used throughout the paper's
+// evaluation (Section 7.1), reproduced verbatim:
+//
+//   R = < x : int, y : float, z : char[20] >
+//   S = < a : int, b : float, c : double, d : bool >
+//
+// joined by the two-dimensional band predicate
+//
+//   r.x BETWEEN s.a - 10 AND s.a + 10  AND  r.y BETWEEN s.b - 10 AND s.b + 10
+//
+// with join attributes uniform in 1..10000 (hit rate ~1 : 250,000). The
+// equi-join variant (paper Section 7.6 / Table 2) replaces the band with
+// r.x = s.a so node-local hash indexes become applicable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/fixed_string.hpp"
+
+namespace sjoin {
+
+/// Paper benchmark stream R: 〈x:int, y:float, z:char[20]〉.
+struct RTuple {
+  int32_t x = 0;
+  float y = 0.0f;
+  FixedString<20> z;
+};
+
+/// Paper benchmark stream S: 〈a:int, b:float, c:double, d:bool〉.
+struct STuple {
+  int32_t a = 0;
+  float b = 0.0f;
+  double c = 0.0;
+  bool d = false;
+};
+
+/// The paper's two-dimensional band join predicate.
+struct BandPredicate {
+  int32_t x_band = 10;
+  float y_band = 10.0f;
+
+  bool operator()(const RTuple& r, const STuple& s) const {
+    return r.x >= s.a - x_band && r.x <= s.a + x_band &&
+           r.y >= s.b - y_band && r.y <= s.b + y_band;
+  }
+};
+
+/// Equi-join variant of the benchmark predicate (Table 2).
+struct EquiPredicate {
+  bool operator()(const RTuple& r, const STuple& s) const {
+    return r.x == s.a;
+  }
+};
+
+/// Key extractors for hash-index acceleration of the equi-join.
+struct RKey {
+  int64_t operator()(const RTuple& r) const { return r.x; }
+};
+struct SKey {
+  int64_t operator()(const STuple& s) const { return s.a; }
+};
+
+/// Range-probe bounds for ordered-index acceleration of the *band* join
+/// (paper future work, Sections 7.6/9): an R tuple probes the S store for
+/// keys in [x-10, x+10] and vice versa; the band predicate still filters
+/// the y/b dimension.
+struct RBandLowForS {
+  int64_t operator()(const RTuple& r) const { return r.x - 10; }
+};
+struct RBandHighForS {
+  int64_t operator()(const RTuple& r) const { return r.x + 10; }
+};
+struct SBandLowForR {
+  int64_t operator()(const STuple& s) const { return s.a - 10; }
+};
+struct SBandHighForR {
+  int64_t operator()(const STuple& s) const { return s.a + 10; }
+};
+
+static_assert(sizeof(RTuple) == 28 || sizeof(RTuple) == 32,
+              "RTuple should stay a small POD");
+
+}  // namespace sjoin

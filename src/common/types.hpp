@@ -1,0 +1,52 @@
+// Core value types shared by every module: logical time, sequence numbers,
+// stream sides, and the Stamped<T> envelope that carries a user tuple through
+// the system together with its identity and timing metadata.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sjoin {
+
+/// Logical (event-time) timestamp in microseconds. The external driver
+/// assigns timestamps; all engines treat them as opaque monotonic values.
+using Timestamp = int64_t;
+
+/// Per-stream sequence number, assigned densely from 0 by the driver.
+/// Sequence numbers identify tuples in expiry/acknowledgement/expedition-end
+/// messages and in join results.
+using Seq = uint64_t;
+
+/// Index of a processing node within a join pipeline (0 = leftmost).
+using NodeId = int32_t;
+
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+inline constexpr NodeId kNoNode = -1;
+
+/// The two input streams of a binary stream join. R flows left-to-right
+/// through a pipeline, S right-to-left (paper Figure 3/6).
+enum class StreamSide : uint8_t { kR = 0, kS = 1 };
+
+constexpr StreamSide Opposite(StreamSide side) {
+  return side == StreamSide::kR ? StreamSide::kS : StreamSide::kR;
+}
+
+constexpr const char* ToString(StreamSide side) {
+  return side == StreamSide::kR ? "R" : "S";
+}
+
+/// A user tuple plus the metadata every engine needs: its sequence number,
+/// event-time timestamp, and the wall-clock instant it entered the system
+/// (used for latency accounting, never for join semantics).
+template <typename T>
+struct Stamped {
+  T value{};
+  Seq seq = 0;
+  Timestamp ts = 0;
+  int64_t arrival_wall_ns = 0;
+};
+
+}  // namespace sjoin

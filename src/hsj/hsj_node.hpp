@@ -1,0 +1,518 @@
+// One processing node of the *original* handshake join (Teubner & Mueller,
+// SIGMOD 2011 — paper [20], summarized in Section 2.3). Each node owns a
+// segment of both windows; R tuples enter on the left and relocate rightward
+// when the local segment exceeds its share, S tuples mirror that leftward.
+// A tuple scans the local opposite segment on every arrival (fresh or
+// relocated); since both streams move monotonically in opposite directions,
+// every window-compatible pair crosses — and is evaluated — exactly once.
+// Latency is the price: a tuple reaches distant segments only as new input
+// pushes it along, so pairs wait O(window) before meeting (Section 3).
+//
+// Protocol details implemented here:
+//  * One-sided acknowledgements (Section 4.2.2): a forwarded S tuple stays
+//    in the sender's in-flight buffer IWS until the receiver acknowledges
+//    it; R arrivals scan IWS in addition to WS, which catches pairs that
+//    cross "in flight" between two neighbours.
+//  * Expiry messages enter at the stream's old end and hunt the resident
+//    copy. If the copy is relocating concurrently, the expiry *chases* it:
+//    window segments hold contiguous sequence ranges, so comparing the
+//    target seq against the local range tells which direction the tuple
+//    went; FIFO channel order guarantees the chase terminates (DESIGN.md,
+//    correctness refinement 2). An expiry passing a node also purges any
+//    matching in-flight IWS entry so arrivals behind the expiry cannot
+//    match the expired tuple.
+//  * Flush messages (end-of-stream support for finite traces): force all
+//    resident tuples to relocate to the pipeline end so pairs still
+//    separated inside the pipeline meet. Flushes cascade in FIFO order.
+//  * Backpressure discipline: arrivals are consumed only when the outbound
+//    channels have slack; control messages are always consumed and their
+//    outputs stage locally (see runtime/staged_channel.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/types.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "runtime/staged_channel.hpp"
+#include "stream/message.hpp"
+#include "stream/sink.hpp"
+
+namespace sjoin {
+
+/// Free slots required on an outbound channel before an arrival is consumed
+/// (forward + acknowledgement + headroom for a chasing expiry).
+inline constexpr std::size_t kArrivalSlack = 4;
+
+template <typename R, typename S, typename Pred, typename Sink>
+class HsjNode : public Steppable {
+ public:
+  struct Config {
+    NodeId id = 0;
+    int nodes = 1;
+    /// Relocation policy. 0 (default) = *self-balancing*, the original
+    /// algorithm's behaviour: a node forwards its oldest tuple whenever its
+    /// segment exceeds the next neighbour's by more than one, so segments
+    /// track the live window dynamically and tuple position stays
+    /// proportional to age (a tuple reaches the far end just as it
+    /// expires, which is what guarantees every pair crosses in time).
+    /// A positive value switches to a static per-segment capacity; it must
+    /// then be <= live-window/nodes or latent pairs expire unmet.
+    /// The end node of each stream never relocates.
+    int64_t segment_capacity_r = 0;
+    int64_t segment_capacity_s = 0;
+    int msgs_per_step = 8;
+    /// Hop budget for chasing expiries before declaring an anomaly.
+    int max_expiry_hops = 0;  // 0 = derive from pipeline length
+  };
+
+  struct Counters {
+    uint64_t relocated_r = 0;
+    uint64_t relocated_s = 0;
+    uint64_t expiry_bounces = 0;
+    uint64_t anomalies = 0;  ///< must stay 0; checked by tests
+  };
+
+  HsjNode(const Config& config, Pred pred, Sink* sink,
+          SpscQueue<FlowMsg<R>>* left_in, SpscQueue<FlowMsg<R>>* right_out,
+          SpscQueue<FlowMsg<S>>* right_in, SpscQueue<FlowMsg<S>>* left_out)
+      : config_(config),
+        pred_(pred),
+        sink_(sink),
+        left_in_(left_in),
+        right_in_(right_in),
+        right_out_(right_out),
+        left_out_(left_out) {
+    if (config_.max_expiry_hops == 0) {
+      config_.max_expiry_hops = 16 * config_.nodes + 64;
+    }
+  }
+
+  bool Step() override {
+    bool progress = right_out_.Drain() | left_out_.Drain();
+    if constexpr (requires(Sink* s) { s->Drain(); }) {
+      progress |= sink_->Drain();
+    }
+    for (int i = 0; i < config_.msgs_per_step; ++i) {
+      bool any = ProcessLeftOne();
+      any |= ProcessRightOne();
+      if (!any) break;
+      progress = true;
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Retry relocations deferred by a momentarily full channel, and any
+    // rebalancing triggered by neighbour size changes.
+    progress |= RelocateROverflow();
+    progress |= RelocateSOverflow();
+    PublishSizes();
+    progress |= right_out_.Drain() | left_out_.Drain();
+    return progress;
+  }
+
+  /// Messages consumed so far; safe to read from other threads (used for
+  /// distributed quiescence detection).
+  uint64_t processed_count() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+
+  const Counters& counters() const { return counters_; }
+  std::size_t resident_r() const { return wr_.size(); }
+  std::size_t resident_s() const { return ws_.size(); }
+  std::size_t inflight_s() const { return iws_.size(); }
+
+  /// Introspection for tests/diagnostics (single-threaded access only).
+  const std::deque<Stamped<R>>& window_r() const { return wr_; }
+  const std::deque<Stamped<S>>& window_s() const { return ws_; }
+
+  /// Published segment sizes for neighbour self-balancing (thread-safe).
+  const std::atomic<std::size_t>& published_r_size() const {
+    return r_size_pub_->value;
+  }
+  const std::atomic<std::size_t>& published_s_size() const {
+    return s_size_pub_->value;
+  }
+
+  /// Wires the neighbour segment sizes the balancing rule compares against
+  /// (right neighbour's R segment, left neighbour's S segment). Called by
+  /// the pipeline after all nodes are constructed.
+  void SetNeighborSizes(const std::atomic<std::size_t>* right_r,
+                        const std::atomic<std::size_t>* left_s) {
+    neighbor_r_size_ = right_r;
+    neighbor_s_size_ = left_s;
+  }
+
+ private:
+  bool IsLeftmost() const { return config_.id == 0; }
+  bool IsRightmost() const { return config_.id == config_.nodes - 1; }
+
+  // -- Left input: R arrivals/relocations, acks of S, expiries, R flushes. --
+
+  bool ProcessLeftOne() {
+    FlowMsg<R>* msg = left_in_->Front();
+    if (msg == nullptr) return false;
+
+    switch (msg->kind) {
+      case MsgKind::kArrival: {
+        if (!IsRightmost() && !right_out_.Available(kArrivalSlack)) {
+          return false;  // backpressure: retry once downstream drains
+        }
+        Stamped<R> r{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
+        const bool dying = (msg->flags & kMsgDying) != 0;
+        left_in_->PopFront();
+        ScanAgainstS(r);
+        if (dying) {
+          // Expired mid-traversal: keep travelling (scanning) but never
+          // rest again; discarded at the rightmost node.
+          if (!IsRightmost()) {
+            FlowMsg<R> fwd = MakeArrival(r);
+            fwd.flags |= kMsgRelocated | kMsgDying;
+            right_out_.Push(fwd);
+          }
+        } else {
+          wr_.push_back(r);
+          RelocateROverflow();
+        }
+        return true;
+      }
+      case MsgKind::kAck: {
+        EraseIws(msg->seq);
+        left_in_->PopFront();
+        return true;
+      }
+      case MsgKind::kExpiry: {
+        const StreamSide side = msg->ref_side;
+        const Seq seq = msg->seq;
+        const Timestamp ts = msg->ts;
+        const uint16_t hops = msg->hops;
+        left_in_->PopFront();
+        HandleExpiry(side, seq, ts, hops);
+        return true;
+      }
+      case MsgKind::kFlush: {
+        left_in_->PopFront();
+        FlushR();
+        return true;
+      }
+      default:
+        ++counters_.anomalies;
+        left_in_->PopFront();
+        return true;
+    }
+  }
+
+  // -- Right input: S arrivals/relocations, expiries, S flushes. ------------
+
+  bool ProcessRightOne() {
+    FlowMsg<S>* msg = right_in_->Front();
+    if (msg == nullptr) return false;
+
+    switch (msg->kind) {
+      case MsgKind::kArrival: {
+        // Only the forward (relocation) direction is gated; the
+        // acknowledgement stages when its channel is momentarily full.
+        // Gating both directions would close a neighbour wait-for cycle
+        // (deadlock at small channel capacities).
+        if (!IsLeftmost() && !left_out_.Available(kArrivalSlack)) {
+          return false;
+        }
+        Stamped<S> s{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
+        const bool dying = (msg->flags & kMsgDying) != 0;
+        right_in_->PopFront();
+        ScanAgainstR(s);
+        if (dying) {
+          if (!IsLeftmost()) {
+            FlowMsg<S> fwd = MakeArrival(s);
+            fwd.flags |= kMsgRelocated | kMsgDying;
+            left_out_.Push(fwd);
+            // Ack protocol still applies: the dying tuple stays virtually
+            // present until the receiver confirms, so in-flight crossings
+            // with R arrivals are detected.
+            iws_.push_back(s);
+          }
+        } else {
+          ws_.push_back(s);
+        }
+        if (!IsRightmost()) {
+          FlowMsg<R> ack;
+          ack.kind = MsgKind::kAck;
+          ack.ref_side = StreamSide::kS;
+          ack.seq = s.seq;
+          right_out_.Push(ack);
+        }
+        if (!dying) RelocateSOverflow();
+        return true;
+      }
+      case MsgKind::kExpiry: {
+        const StreamSide side = msg->ref_side;
+        const Seq seq = msg->seq;
+        const Timestamp ts = msg->ts;
+        const uint16_t hops = msg->hops;
+        right_in_->PopFront();
+        HandleExpiry(side, seq, ts, hops);
+        return true;
+      }
+      case MsgKind::kFlush: {
+        right_in_->PopFront();
+        FlushS();
+        return true;
+      }
+      default:
+        ++counters_.anomalies;
+        right_in_->PopFront();
+        return true;
+    }
+  }
+
+  // -- Matching --------------------------------------------------------------
+
+  void ScanAgainstS(const Stamped<R>& r) {
+    for (const auto& s : ws_) {
+      if (pred_(r.value, s.value)) sink_->Emit(MakeResult(r, s, config_.id));
+    }
+    // Forwarded-but-unacked S tuples are virtually still resident here.
+    for (const auto& s : iws_) {
+      if (pred_(r.value, s.value)) sink_->Emit(MakeResult(r, s, config_.id));
+    }
+  }
+
+  void ScanAgainstR(const Stamped<S>& s) {
+    for (const auto& r : wr_) {
+      if (pred_(r.value, s.value)) sink_->Emit(MakeResult(r, s, config_.id));
+    }
+  }
+
+  // -- Relocation (the "handshake" movement) ---------------------------------
+
+  bool ShouldRelocateR() const {
+    if (config_.segment_capacity_r > 0) {
+      return static_cast<int64_t>(wr_.size()) > config_.segment_capacity_r;
+    }
+    // Self-balancing: keep within one tuple of the right neighbour.
+    const std::size_t neighbor =
+        neighbor_r_size_ == nullptr
+            ? 0
+            : neighbor_r_size_->load(std::memory_order_relaxed);
+    return wr_.size() > neighbor + 1;
+  }
+
+  bool ShouldRelocateS() const {
+    if (config_.segment_capacity_s > 0) {
+      return static_cast<int64_t>(ws_.size()) > config_.segment_capacity_s;
+    }
+    const std::size_t neighbor =
+        neighbor_s_size_ == nullptr
+            ? 0
+            : neighbor_s_size_->load(std::memory_order_relaxed);
+    return ws_.size() > neighbor + 1;
+  }
+
+  bool RelocateROverflow() {
+    if (IsRightmost()) return false;
+    bool progress = false;
+    while (!wr_.empty() && ShouldRelocateR() && right_out_.Available(1)) {
+      ForwardOldestR();
+      progress = true;
+    }
+    PublishSizes();
+    return progress;
+  }
+
+  void ForwardOldestR() {
+    FlowMsg<R> msg = MakeArrival(wr_.front());
+    msg.flags |= kMsgRelocated;
+    right_out_.Push(msg);
+    wr_.pop_front();
+    ++counters_.relocated_r;
+  }
+
+  bool RelocateSOverflow() {
+    if (IsLeftmost()) return false;
+    bool progress = false;
+    while (!ws_.empty() && ShouldRelocateS() && left_out_.Available(1)) {
+      ForwardOldestS();
+      progress = true;
+    }
+    PublishSizes();
+    return progress;
+  }
+
+  void PublishSizes() {
+    r_size_pub_->value.store(wr_.size(), std::memory_order_relaxed);
+    s_size_pub_->value.store(ws_.size(), std::memory_order_relaxed);
+  }
+
+  void ForwardOldestS() {
+    FlowMsg<S> msg = MakeArrival(ws_.front());
+    msg.flags |= kMsgRelocated;
+    left_out_.Push(msg);
+    // The tuple stays virtually present (IWS) until the receiver acks.
+    iws_.push_back(ws_.front());
+    ws_.pop_front();
+    ++counters_.relocated_s;
+  }
+
+  // -- Flush ------------------------------------------------------------------
+
+  void FlushR() {
+    if (IsRightmost()) return;  // resident tuples here crossed everything
+    while (!wr_.empty()) ForwardOldestR();
+    FlowMsg<R> flush;
+    flush.kind = MsgKind::kFlush;
+    right_out_.Push(flush);
+  }
+
+  void FlushS() {
+    if (IsLeftmost()) return;
+    while (!ws_.empty()) ForwardOldestS();
+    FlowMsg<S> flush;
+    flush.kind = MsgKind::kFlush;
+    left_out_.Push(flush);
+  }
+
+  // -- Expiries with chase ----------------------------------------------------
+
+  void HandleExpiry(StreamSide side, Seq seq, Timestamp ts, uint16_t hops) {
+    if (side == StreamSide::kS) {
+      Stamped<S> victim;
+      if (TryTakeWindow(ws_, seq, &victim)) {
+        // Caught before finishing its traversal: continue as a dying
+        // traveller so partners that arrived before this expiry (resting
+        // further down the pipeline) are still met exactly once.
+        if (!IsLeftmost()) {
+          FlowMsg<S> fwd = MakeArrival(victim);
+          fwd.flags |= kMsgRelocated | kMsgDying;
+          left_out_.Push(fwd);
+          iws_.push_back(victim);
+        }
+        return;
+      }
+      // Purge any in-flight copy so arrivals behind this expiry cannot
+      // match it; the resident copy will materialize at the neighbour.
+      EraseIws(seq);
+      ForwardExpiry(side, seq, ts, hops,
+                    ChaseDirection(ws_, seq, /*older_is_left=*/true));
+      return;
+    }
+    Stamped<R> victim;
+    if (TryTakeWindow(wr_, seq, &victim)) {
+      if (!IsRightmost()) {
+        FlowMsg<R> fwd = MakeArrival(victim);
+        fwd.flags |= kMsgRelocated | kMsgDying;
+        right_out_.Push(fwd);
+      }
+      return;
+    }
+    ForwardExpiry(side, seq, ts, hops,
+                  ChaseDirection(wr_, seq, /*older_is_left=*/false));
+  }
+
+  /// Direction the missing tuple must be in: -1 = left, +1 = right, 0 = give
+  /// up (already gone). Segments hold contiguous seq ranges ordered along
+  /// the pipeline (S: oldest at node 0; R: oldest at node n-1).
+  template <typename T>
+  int ChaseDirection(const std::deque<Stamped<T>>& window, Seq seq,
+                     bool older_is_left) const {
+    if (!window.empty()) {
+      if (seq < window.front().seq) return older_is_left ? -1 : +1;
+      if (seq > window.back().seq) return older_is_left ? +1 : -1;
+      return 0;  // in range but missing: already erased elsewhere
+    }
+    // Empty segment: the tuple can only be in flight from the newer side.
+    return older_is_left ? +1 : -1;
+  }
+
+  void ForwardExpiry(StreamSide side, Seq seq, Timestamp ts, uint16_t hops,
+                     int dir) {
+    if (dir == 0) return;
+    if (hops >= config_.max_expiry_hops) {
+      ++counters_.anomalies;
+      return;
+    }
+    if (hops >= 1) ++counters_.expiry_bounces;
+    if (dir > 0) {
+      if (IsRightmost()) {
+        // Nothing to the right; the FIFO argument makes this unreachable.
+        ++counters_.anomalies;
+        return;
+      }
+      FlowMsg<R> msg;
+      msg.kind = MsgKind::kExpiry;
+      msg.ref_side = side;
+      msg.seq = seq;
+      msg.ts = ts;
+      msg.hops = static_cast<uint16_t>(hops + 1);
+      right_out_.Push(msg);
+    } else {
+      if (IsLeftmost()) {
+        ++counters_.anomalies;
+        return;
+      }
+      FlowMsg<S> msg;
+      msg.kind = MsgKind::kExpiry;
+      msg.ref_side = side;
+      msg.seq = seq;
+      msg.ts = ts;
+      msg.hops = static_cast<uint16_t>(hops + 1);
+      left_out_.Push(msg);
+    }
+  }
+
+  template <typename T>
+  static bool TryTakeWindow(std::deque<Stamped<T>>& window, Seq seq,
+                            Stamped<T>* out) {
+    if (!window.empty() && window.front().seq == seq) {
+      *out = window.front();
+      window.pop_front();
+      return true;
+    }
+    for (auto it = window.begin(); it != window.end(); ++it) {
+      if (it->seq == seq) {
+        *out = *it;
+        window.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool EraseIws(Seq seq) {
+    for (auto it = iws_.begin(); it != iws_.end(); ++it) {
+      if (it->seq == seq) {
+        iws_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Config config_;
+  Pred pred_;
+  Sink* sink_;
+
+  SpscQueue<FlowMsg<R>>* left_in_;
+  SpscQueue<FlowMsg<S>>* right_in_;
+  StagedChannel<FlowMsg<R>> right_out_;  // disconnected on rightmost node
+  StagedChannel<FlowMsg<S>> left_out_;   // disconnected on leftmost node
+
+  std::deque<Stamped<R>> wr_;   // front = oldest
+  std::deque<Stamped<S>> ws_;
+  std::deque<Stamped<S>> iws_;  // forwarded to the left, not yet acked
+
+  // Published segment sizes (self-balancing). Heap-allocated so the node
+  // stays movable while neighbours hold stable pointers.
+  std::unique_ptr<CachePadded<std::atomic<std::size_t>>> r_size_pub_ =
+      std::make_unique<CachePadded<std::atomic<std::size_t>>>();
+  std::unique_ptr<CachePadded<std::atomic<std::size_t>>> s_size_pub_ =
+      std::make_unique<CachePadded<std::atomic<std::size_t>>>();
+  const std::atomic<std::size_t>* neighbor_r_size_ = nullptr;
+  const std::atomic<std::size_t>* neighbor_s_size_ = nullptr;
+
+  Counters counters_;
+  std::atomic<uint64_t> processed_{0};
+};
+
+}  // namespace sjoin

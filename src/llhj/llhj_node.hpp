@@ -1,0 +1,365 @@
+// One processing node of the low-latency handshake join — the paper's
+// primary contribution (Section 4, Figures 12-14). Instead of queueing
+// tuples along the distributed windows (the source of handshake join's
+// O(window) latency), every tuple is *expedited*: forwarded to the next
+// neighbour immediately on arrival, stored exactly once at its pre-assigned
+// home node, and discarded when it falls off the far end.
+//
+// Matching follows Table 1 exactly:
+//
+//   state of (r, s) at crossing      evaluated where
+//   -----------------------------    ------------------------------------
+//   fresh/fresh                      while travelling (r scans IWS)
+//   fresh r / stored s               at h_s (r scans the S store there)
+//   stored r / fresh s               while travelling (r scans IWS)
+//   stored/stored                    at h_s; s skips r's copy at h_r
+//                                    because r's expedition flag is set
+//   never met, r after s             at h_s (r scans the stored copy)
+//   never met, s after r             at h_r (flag already cleared)
+//
+// Mechanisms:
+//  * IWS  — fresh S tuples are held in the receiver's in-flight buffer
+//    until the left neighbour acknowledges them (Section 4.2.2); R arrivals
+//    scan it, which implements every "while travelling" row.
+//  * Expedition flags + expedition-end messages (Section 4.2.3) — r's home
+//    copy stays "expedited" until the end-of-pipeline marker for r returns;
+//    S arrivals match only non-expedited entries. The marker is injected
+//    into the S flow *at the moment r leaves the rightmost node* (processed
+//    synchronously there), which pins it to exactly the right position in
+//    the S-flow total order — see DESIGN.md, correctness refinement 1.
+//  * Expiry tombstones — homes are a pure function of the sequence number,
+//    so an expiry that overtakes its still-travelling tuple leaves a
+//    tombstone at the home node and the arrival is then not stored
+//    (refinement 2).
+//  * High-water marks — the end nodes publish the timestamp of every tuple
+//    completing its expedition, feeding punctuation generation (Section 6).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "llhj/home_policy.hpp"
+#include "llhj/store.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "runtime/staged_channel.hpp"
+#include "stream/hwm.hpp"
+#include "stream/message.hpp"
+#include "stream/sink.hpp"
+
+namespace sjoin {
+
+/// Outbound slack required before consuming an arrival (forward + ack or
+/// expedition-end + headroom).
+inline constexpr std::size_t kLlhjArrivalSlack = 4;
+
+template <typename R, typename S, typename Pred, typename Sink,
+          typename RStore = VectorStore<R>, typename SStore = VectorStore<S>>
+class LlhjNode : public Steppable {
+ public:
+  struct Config {
+    NodeId id = 0;
+    int nodes = 1;
+    HomeAssigner home_r;
+    HomeAssigner home_s;
+    int msgs_per_step = 8;
+  };
+
+  struct Counters {
+    uint64_t r_processed = 0;
+    uint64_t s_processed = 0;
+    uint64_t tombstoned = 0;
+    uint64_t anomalies = 0;  ///< must stay 0; checked by tests
+  };
+
+  LlhjNode(const Config& config, Pred pred, Sink* sink,
+           SpscQueue<FlowMsg<R>>* left_in, SpscQueue<FlowMsg<R>>* right_out,
+           SpscQueue<FlowMsg<S>>* right_in, SpscQueue<FlowMsg<S>>* left_out,
+           HighWaterMarks* hwm = nullptr)
+      : config_(config),
+        pred_(pred),
+        sink_(sink),
+        left_in_(left_in),
+        right_in_(right_in),
+        right_out_(right_out),
+        left_out_(left_out),
+        hwm_(hwm) {}
+
+  bool Step() override {
+    bool progress = right_out_.Drain() | left_out_.Drain();
+    if constexpr (requires(Sink* s) { s->Drain(); }) {
+      progress |= sink_->Drain();
+    }
+    for (int i = 0; i < config_.msgs_per_step; ++i) {
+      bool any = ProcessLeftOne();
+      any |= ProcessRightOne();
+      if (!any) break;
+      progress = true;
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    progress |= right_out_.Drain() | left_out_.Drain();
+    return progress;
+  }
+
+  /// Messages consumed so far; safe to read from other threads (used for
+  /// distributed quiescence detection).
+  uint64_t processed_count() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+
+  const Counters& counters() const { return counters_; }
+  const RStore& r_store() const { return wr_; }
+  const SStore& s_store() const { return ws_; }
+  std::size_t inflight_s() const { return iws_.size(); }
+
+ private:
+  bool IsLeftmost() const { return config_.id == 0; }
+  bool IsRightmost() const { return config_.id == config_.nodes - 1; }
+
+  // -- Left input (Figure 13): R arrivals, acks of S, expiries of S. ---------
+
+  bool ProcessLeftOne() {
+    FlowMsg<R>* msg = left_in_->Front();
+    if (msg == nullptr) return false;
+
+    switch (msg->kind) {
+      case MsgKind::kArrival: {
+        // Backpressure gates only the *forward* direction; control outputs
+        // (expedition-ends) stage locally. Gating both directions would
+        // close a wait-for cycle between neighbours (deadlock at small
+        // channel capacities); this way every wait chain ends at the
+        // rightmost node, which consumes unconditionally.
+        if (!IsRightmost() && !right_out_.Available(kLlhjArrivalSlack)) {
+          return false;
+        }
+        // Fig 13 line 5-6: the leftmost node assigns the home node.
+        if (IsLeftmost()) msg->home = config_.home_r.Of(msg->seq);
+        const NodeId home = msg->home;
+        Stamped<R> r{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
+
+        // Fig 13 line 7: expedite first to minimize latency.
+        if (!IsRightmost()) right_out_.Push(*msg);
+        left_in_->PopFront();
+
+        // Fig 13 line 8: match against stored copies and in-flight S.
+        ScanAgainstS(r);
+
+        // Fig 13 lines 9-10: store at the home node, flagged expedited.
+        if (home == config_.id) {
+          if (!ConsumeTombstone(&tombstones_r_, r.seq)) {
+            wr_.Insert(r, /*expedited=*/true);
+          }
+        }
+
+        // Fig 13 lines 11-12, refined: the expedition ends *now*; inject the
+        // marker at this exact position of the S-flow (or apply it locally).
+        if (IsRightmost()) {
+          if (hwm_ != nullptr) hwm_->Publish(StreamSide::kR, r.ts, r.seq);
+          if (home == config_.id) {
+            wr_.ClearExpedited(r.seq);
+          } else {
+            FlowMsg<S> end;
+            end.kind = MsgKind::kExpeditionEnd;
+            end.seq = r.seq;
+            end.home = home;
+            left_out_.Push(end);
+          }
+        }
+        ++counters_.r_processed;
+        return true;
+      }
+      case MsgKind::kAck: {  // Fig 13 lines 13-14
+        EraseIws(msg->seq);
+        left_in_->PopFront();
+        return true;
+      }
+      case MsgKind::kExpiry: {  // of an S tuple, travelling toward h_s
+        Seq seq = msg->seq;
+        NodeId home = msg->home;
+        if (IsLeftmost()) home = config_.home_s.Of(seq);
+        if (home == config_.id) {
+          if (!ws_.EraseSeq(seq)) {
+            tombstones_s_.insert(seq);
+            ++counters_.tombstoned;
+          }
+        } else {
+          FlowMsg<R> fwd = *msg;
+          fwd.home = home;
+          fwd.hops = static_cast<uint16_t>(msg->hops + 1);
+          right_out_.Push(fwd);
+        }
+        left_in_->PopFront();
+        return true;
+      }
+      case MsgKind::kFlush: {
+        // LLHJ matching is entirely arrival-driven; nothing is pending.
+        left_in_->PopFront();
+        return true;
+      }
+      default:
+        ++counters_.anomalies;
+        left_in_->PopFront();
+        return true;
+    }
+  }
+
+  // -- Right input (Figure 14): S arrivals, expedition-ends, expiries of R. --
+
+  bool ProcessRightOne() {
+    FlowMsg<S>* msg = right_in_->Front();
+    if (msg == nullptr) return false;
+
+    switch (msg->kind) {
+      case MsgKind::kArrival: {
+        // Only the forward direction is gated; the acknowledgement stages
+        // if its channel is momentarily full (see the left-side comment).
+        if (!IsLeftmost() && !left_out_.Available(kLlhjArrivalSlack)) {
+          return false;
+        }
+        // Fig 14 lines 5-6: the rightmost node assigns the home node.
+        if (IsRightmost()) msg->home = config_.home_s.Of(msg->seq);
+        const NodeId home = msg->home;
+        Stamped<S> s{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
+
+        // Fig 14 line 7: expedite first.
+        if (!IsLeftmost()) left_out_.Push(*msg);
+        right_in_->PopFront();
+
+        // Fig 14 line 8: avoid stored/stored double matches — only
+        // non-expedited R entries participate.
+        ScanAgainstR(s);
+
+        // Fig 14 lines 9-10: fresh tuples stay virtually present until the
+        // receiver acknowledges them (avoids stored/fresh misses). The
+        // leftmost node has no receiver, so nothing to track there.
+        if (config_.id > home && !IsLeftmost()) iws_.push_back(s);
+
+        // Fig 14 lines 11-12: store at the home node.
+        if (home == config_.id) {
+          if (!ConsumeTombstone(&tombstones_s_, s.seq)) {
+            ws_.Insert(s, /*expedited=*/false);
+          }
+        }
+
+        // Fig 14 line 13: acknowledge to the right-hand sender (the
+        // rightmost node received s from the driver — nothing to ack).
+        if (!IsRightmost()) {
+          FlowMsg<R> ack;
+          ack.kind = MsgKind::kAck;
+          ack.ref_side = StreamSide::kS;
+          ack.seq = s.seq;
+          right_out_.Push(ack);
+        }
+
+        if (IsLeftmost() && hwm_ != nullptr) {
+          hwm_->Publish(StreamSide::kS, s.ts, s.seq);
+        }
+        ++counters_.s_processed;
+        return true;
+      }
+      case MsgKind::kExpeditionEnd: {  // Fig 14 lines 14-19
+        if (msg->home == config_.id) {
+          wr_.ClearExpedited(msg->seq);  // no-op if expired/tombstoned
+        } else {
+          left_out_.Push(*msg);
+        }
+        right_in_->PopFront();
+        return true;
+      }
+      case MsgKind::kExpiry: {  // of an R tuple, travelling toward h_r
+        Seq seq = msg->seq;
+        NodeId home = msg->home;
+        if (IsRightmost()) home = config_.home_r.Of(seq);
+        if (home == config_.id) {
+          if (!wr_.EraseSeq(seq)) {
+            tombstones_r_.insert(seq);
+            ++counters_.tombstoned;
+          }
+        } else {
+          FlowMsg<S> fwd = *msg;
+          fwd.home = home;
+          fwd.hops = static_cast<uint16_t>(msg->hops + 1);
+          left_out_.Push(fwd);
+        }
+        right_in_->PopFront();
+        return true;
+      }
+      case MsgKind::kFlush: {
+        right_in_->PopFront();
+        return true;
+      }
+      default:
+        ++counters_.anomalies;
+        right_in_->PopFront();
+        return true;
+    }
+  }
+
+  // -- Matching ----------------------------------------------------------------
+
+  void ScanAgainstS(const Stamped<R>& r) {
+    // Stored copies: each S tuple rests on exactly one node, so across the
+    // whole pipeline this evaluates each stored pair once (at h_s).
+    ws_.ForEach(r.value, [&](const StoreEntry<S>& entry) {
+      if (pred_(r.value, entry.tuple.value)) {
+        sink_->Emit(MakeResult(r, entry.tuple, config_.id));
+      }
+    });
+    // In-flight fresh S tuples: the "while travelling" evaluations.
+    for (const auto& s : iws_) {
+      if (pred_(r.value, s.value)) {
+        sink_->Emit(MakeResult(r, s, config_.id));
+      }
+    }
+  }
+
+  void ScanAgainstR(const Stamped<S>& s) {
+    wr_.ForEach(s.value, [&](const StoreEntry<R>& entry) {
+      if (!entry.expedited && pred_(entry.tuple.value, s.value)) {
+        sink_->Emit(MakeResult(entry.tuple, s, config_.id));
+      }
+    });
+  }
+
+  // -- Helpers -----------------------------------------------------------------
+
+  static bool ConsumeTombstone(std::unordered_set<Seq>* tombs, Seq seq) {
+    return tombs->erase(seq) > 0;
+  }
+
+  bool EraseIws(Seq seq) {
+    for (auto it = iws_.begin(); it != iws_.end(); ++it) {
+      if (it->seq == seq) {
+        iws_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Config config_;
+  Pred pred_;
+  Sink* sink_;
+
+  SpscQueue<FlowMsg<R>>* left_in_;
+  SpscQueue<FlowMsg<S>>* right_in_;
+  StagedChannel<FlowMsg<R>> right_out_;  // disconnected on rightmost node
+  StagedChannel<FlowMsg<S>> left_out_;   // disconnected on leftmost node
+
+  HighWaterMarks* hwm_;
+
+  RStore wr_;                   // node-local R window (with expedition flags)
+  SStore ws_;                   // node-local S window
+  std::deque<Stamped<S>> iws_;  // fresh S received, not yet acked from left
+
+  std::unordered_set<Seq> tombstones_r_;
+  std::unordered_set<Seq> tombstones_s_;
+
+  Counters counters_;
+  std::atomic<uint64_t> processed_{0};
+};
+
+}  // namespace sjoin

@@ -1,0 +1,168 @@
+// Assembly of a complete low-latency handshake join pipeline: n nodes wired
+// with neighbour FIFO channels, one result queue per node, shared
+// high-water marks, and a collector factory. The pipeline is
+// executor-agnostic — register `nodes()` (plus feeder and collector) with a
+// SequentialExecutor for deterministic runs or a ThreadedExecutor for
+// deployment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "llhj/home_policy.hpp"
+#include "llhj/llhj_node.hpp"
+#include "llhj/store.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "stream/collector.hpp"
+#include "stream/hwm.hpp"
+#include "stream/message.hpp"
+#include "stream/ports.hpp"
+#include "stream/sink.hpp"
+
+namespace sjoin {
+
+template <typename R, typename S, typename Pred,
+          typename RStore = VectorStore<R>, typename SStore = VectorStore<S>>
+class LlhjPipeline {
+ public:
+  using Sink = StagedQueueSink<R, S>;
+  using Node = LlhjNode<R, S, Pred, Sink, RStore, SStore>;
+
+  struct Options {
+    int nodes = 4;
+    std::size_t channel_capacity = 1024;
+    std::size_t result_capacity = 1 << 16;
+    HomePolicy home_policy = HomePolicy::kRoundRobin;
+    int home_block = 64;
+    bool punctuate = false;
+    int msgs_per_step = 8;
+  };
+
+  explicit LlhjPipeline(const Options& options, Pred pred = Pred{})
+      : options_(options) {
+    const int n = options_.nodes;
+    if (n < 1) throw std::invalid_argument("pipeline needs >= 1 node");
+
+    l2r_.reserve(static_cast<std::size_t>(n));
+    r2l_.reserve(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      l2r_.push_back(std::make_unique<SpscQueue<FlowMsg<R>>>(
+          options_.channel_capacity));
+      r2l_.push_back(std::make_unique<SpscQueue<FlowMsg<S>>>(
+          options_.channel_capacity));
+      result_queues_.push_back(std::make_unique<SpscQueue<ResultMsg<R, S>>>(
+          options_.result_capacity));
+      sinks_.push_back(std::make_unique<Sink>(result_queues_.back().get()));
+    }
+
+    const HomeAssigner home_r(options_.home_policy, n, options_.home_block);
+    const HomeAssigner home_s(options_.home_policy, n, options_.home_block);
+    for (int k = 0; k < n; ++k) {
+      typename Node::Config config;
+      config.id = k;
+      config.nodes = n;
+      config.home_r = home_r;
+      config.home_s = home_s;
+      config.msgs_per_step = options_.msgs_per_step;
+      nodes_.push_back(std::make_unique<Node>(
+          config, pred, sinks_[static_cast<std::size_t>(k)].get(),
+          /*left_in=*/l2r_[static_cast<std::size_t>(k)].get(),
+          /*right_out=*/k + 1 < n ? l2r_[static_cast<std::size_t>(k) + 1].get()
+                                  : nullptr,
+          /*right_in=*/r2l_[static_cast<std::size_t>(k)].get(),
+          /*left_out=*/k > 0 ? r2l_[static_cast<std::size_t>(k) - 1].get()
+                             : nullptr,
+          &hwm_));
+    }
+  }
+
+  /// Driver-facing input queues.
+  PipelinePorts<R, S> ports() {
+    return PipelinePorts<R, S>{l2r_.front().get(), r2l_.back().get()};
+  }
+
+  /// Pipeline nodes in left-to-right order (register with an executor).
+  std::vector<Steppable*> nodes() {
+    std::vector<Steppable*> out;
+    out.reserve(nodes_.size());
+    for (auto& node : nodes_) out.push_back(node.get());
+    return out;
+  }
+
+  /// Builds the collector for this pipeline (caller owns it). Punctuation
+  /// generation follows Options::punctuate.
+  std::unique_ptr<Collector<R, S>> MakeCollector(OutputHandler<R, S>* handler) {
+    std::vector<SpscQueue<ResultMsg<R, S>>*> queues;
+    queues.reserve(result_queues_.size());
+    for (auto& q : result_queues_) queues.push_back(q.get());
+    return std::make_unique<Collector<R, S>>(std::move(queues), handler,
+                                             &hwm_, options_.punctuate);
+  }
+
+  const HighWaterMarks& hwm() const { return hwm_; }
+  const Options& options() const { return options_; }
+  const Node& node(int k) const { return *nodes_[static_cast<std::size_t>(k)]; }
+
+  /// Sum of anomaly counters across nodes — tests require 0.
+  uint64_t total_anomalies() const {
+    uint64_t n = 0;
+    for (const auto& node : nodes_) n += node->counters().anomalies;
+    return n;
+  }
+
+  /// Approximate number of messages sitting in channels and result queues
+  /// (atomically readable from any thread; used for quiescence detection).
+  std::size_t ApproxBacklog() const {
+    std::size_t n = ApproxChannelBacklog();
+    for (const auto& q : result_queues_) n += q->SizeApprox();
+    return n;
+  }
+
+  /// Channel-only backlog — excludes result queues, whose occupancy depends
+  /// on how often the application polls the collector.
+  std::size_t ApproxChannelBacklog() const {
+    std::size_t n = 0;
+    for (const auto& q : l2r_) n += q->SizeApprox();
+    for (const auto& q : r2l_) n += q->SizeApprox();
+    return n;
+  }
+
+  /// Total messages consumed by all nodes (thread-safe, monotonic).
+  uint64_t TotalProcessed() const {
+    uint64_t n = 0;
+    for (const auto& node : nodes_) n += node->processed_count();
+    return n;
+  }
+
+  /// Total tuples resident in node-local windows (diagnostics).
+  std::size_t resident_tuples() const {
+    std::size_t n = 0;
+    for (const auto& node : nodes_) {
+      n += node->r_store().size() + node->s_store().size();
+    }
+    return n;
+  }
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<SpscQueue<FlowMsg<R>>>> l2r_;
+  std::vector<std::unique_ptr<SpscQueue<FlowMsg<S>>>> r2l_;
+  std::vector<std::unique_ptr<SpscQueue<ResultMsg<R, S>>>> result_queues_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  HighWaterMarks hwm_;
+};
+
+/// LLHJ with hash-index node stores for equi-joins (paper Section 7.6).
+/// RKeyFn/SKeyFn extract the join key from R/S tuples; the predicate is
+/// still evaluated on every bucket candidate.
+template <typename R, typename S, typename Pred, typename RKeyFn,
+          typename SKeyFn>
+using IndexedLlhjPipeline =
+    LlhjPipeline<R, S, Pred, HashStore<R, RKeyFn, SKeyFn>,
+                 HashStore<S, SKeyFn, RKeyFn>>;
+
+}  // namespace sjoin

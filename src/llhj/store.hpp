@@ -1,0 +1,209 @@
+// Node-local window stores for low-latency handshake join. In LLHJ every
+// tuple rests on exactly one node (its home node), which is what makes
+// local index structures possible (paper Sections 4.1 and 7.6):
+//
+//  * VectorStore — order-preserving scan store for arbitrary predicates
+//    (the band join of the benchmark).
+//  * HashStore   — hash index keyed on the join attribute for equi-joins
+//    (the Table 2 "with index" configuration).
+//
+// R-side stores additionally carry the *expedition flag* of Section 4.2.3:
+// entries stay "expedited" until the tuple's expedition-end message returns
+// to the home node; S arrivals match only non-expedited entries to avoid
+// stored/stored double matches. Both stores implement the same concept:
+//
+//   void Insert(const Stamped<T>&, bool expedited);
+//   bool EraseSeq(Seq);                 // window expiry
+//   bool ClearExpedited(Seq);           // expedition-end
+//   template <P, F> void ForEach(const P& probe, F&& f) const;
+//   std::size_t size() const;
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sjoin {
+
+/// An entry of a node-local window.
+template <typename T>
+struct StoreEntry {
+  Stamped<T> tuple;
+  bool expedited = false;
+};
+
+/// Scan store: supports any predicate; ForEach visits every entry.
+template <typename T>
+class VectorStore {
+ public:
+  void Insert(const Stamped<T>& t, bool expedited) {
+    entries_.push_back(StoreEntry<T>{t, expedited});
+  }
+
+  bool EraseSeq(Seq seq) {
+    // Expiries arrive oldest-first per home node, so front is typical.
+    if (!entries_.empty() && entries_.front().tuple.seq == seq) {
+      entries_.pop_front();
+      return true;
+    }
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->tuple.seq == seq) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool ClearExpedited(Seq seq) {
+    // Expedition-ends arrive in insertion order; the oldest expedited entry
+    // is the typical target, so search from the front.
+    for (auto& entry : entries_) {
+      if (entry.tuple.seq == seq) {
+        entry.expedited = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Visits every entry (probe is ignored — scan store).
+  template <typename Probe, typename F>
+  void ForEach(const Probe& /*probe*/, F&& f) const {
+    for (const auto& entry : entries_) f(entry);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  std::size_t expedited_count() const {
+    std::size_t n = 0;
+    for (const auto& entry : entries_) n += entry.expedited ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::deque<StoreEntry<T>> entries_;
+};
+
+/// Hash index store for equi-joins. OwnKey extracts the key from this
+/// store's tuple type; ProbeKey extracts it from the probing (opposite
+/// stream) tuple type. ForEach visits only the matching bucket.
+template <typename T, typename OwnKey, typename ProbeKey>
+class HashStore {
+ public:
+  void Insert(const Stamped<T>& t, bool expedited) {
+    const int64_t key = OwnKey{}(t.value);
+    buckets_[key].push_back(StoreEntry<T>{t, expedited});
+    seq_to_key_.emplace(t.seq, key);
+    ++size_;
+  }
+
+  bool EraseSeq(Seq seq) {
+    auto key_it = seq_to_key_.find(seq);
+    if (key_it == seq_to_key_.end()) return false;
+    auto bucket_it = buckets_.find(key_it->second);
+    if (bucket_it != buckets_.end()) {
+      auto& vec = bucket_it->second;
+      for (auto it = vec.begin(); it != vec.end(); ++it) {
+        if (it->tuple.seq == seq) {
+          vec.erase(it);
+          break;
+        }
+      }
+      if (vec.empty()) buckets_.erase(bucket_it);
+    }
+    seq_to_key_.erase(key_it);
+    --size_;
+    return true;
+  }
+
+  bool ClearExpedited(Seq seq) {
+    auto key_it = seq_to_key_.find(seq);
+    if (key_it == seq_to_key_.end()) return false;
+    auto bucket_it = buckets_.find(key_it->second);
+    if (bucket_it == buckets_.end()) return false;
+    for (auto& entry : bucket_it->second) {
+      if (entry.tuple.seq == seq) {
+        entry.expedited = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  template <typename Probe, typename F>
+  void ForEach(const Probe& probe, F&& f) const {
+    auto it = buckets_.find(ProbeKey{}(probe));
+    if (it == buckets_.end()) return;
+    for (const auto& entry : it->second) f(entry);
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  std::unordered_map<int64_t, std::vector<StoreEntry<T>>> buckets_;
+  std::unordered_map<Seq, int64_t> seq_to_key_;
+  std::size_t size_ = 0;
+};
+
+/// Ordered (tree) index store for band/range predicates — the "different
+/// kinds of indices" the paper names as future work (Sections 7.6 and 9).
+/// Entries are kept sorted on OwnKey; a probe visits only the key range
+/// [ProbeLow(probe), ProbeHigh(probe)], so a band join degrades from a full
+/// window scan to a range lookup (the predicate still filters remaining
+/// dimensions).
+template <typename T, typename OwnKey, typename ProbeLow, typename ProbeHigh>
+class OrderedStore {
+ public:
+  void Insert(const Stamped<T>& t, bool expedited) {
+    const int64_t key = OwnKey{}(t.value);
+    tree_.emplace(key, StoreEntry<T>{t, expedited});
+    seq_to_key_.emplace(t.seq, key);
+  }
+
+  bool EraseSeq(Seq seq) {
+    auto key_it = seq_to_key_.find(seq);
+    if (key_it == seq_to_key_.end()) return false;
+    auto [lo, hi] = tree_.equal_range(key_it->second);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.tuple.seq == seq) {
+        tree_.erase(it);
+        break;
+      }
+    }
+    seq_to_key_.erase(key_it);
+    return true;
+  }
+
+  bool ClearExpedited(Seq seq) {
+    auto key_it = seq_to_key_.find(seq);
+    if (key_it == seq_to_key_.end()) return false;
+    auto [lo, hi] = tree_.equal_range(key_it->second);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second.tuple.seq == seq) {
+        it->second.expedited = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  template <typename Probe, typename F>
+  void ForEach(const Probe& probe, F&& f) const {
+    auto it = tree_.lower_bound(ProbeLow{}(probe));
+    const auto end = tree_.upper_bound(ProbeHigh{}(probe));
+    for (; it != end; ++it) f(it->second);
+  }
+
+  std::size_t size() const { return tree_.size(); }
+
+ private:
+  std::multimap<int64_t, StoreEntry<T>> tree_;
+  std::unordered_map<Seq, int64_t> seq_to_key_;
+};
+
+}  // namespace sjoin

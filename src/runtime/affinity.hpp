@@ -1,0 +1,17 @@
+// Thread-to-core pinning. Stands in for the libnuma-based placement of the
+// paper's prototype (see DESIGN.md, substitutions): pipeline nodes are pinned
+// round-robin over the cores the process may use, which preserves the
+// neighbour-to-neighbour layout structurally at any core count.
+#pragma once
+
+namespace sjoin {
+
+/// Pins the calling thread to the given logical CPU. Returns false (and
+/// leaves affinity unchanged) when pinning is unsupported or fails; callers
+/// treat pinning as a best-effort optimization.
+bool PinThisThread(int cpu);
+
+/// Number of logical CPUs available to this process (>= 1).
+int AvailableCpuCount();
+
+}  // namespace sjoin

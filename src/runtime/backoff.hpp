@@ -1,0 +1,42 @@
+// Progressive backoff for busy-wait loops. The evaluation machine in the
+// paper had 48 cores, one per pipeline stage; this reproduction typically
+// oversubscribes a small machine, so spin loops must yield quickly instead
+// of burning the timeslice of the thread they are waiting for.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace sjoin {
+
+#if defined(__x86_64__) || defined(__i386__)
+inline void CpuRelax() { __builtin_ia32_pause(); }
+#else
+inline void CpuRelax() {}
+#endif
+
+/// Escalating wait: pause -> yield -> short sleep. Reset() after progress.
+class Backoff {
+ public:
+  void Pause() {
+    if (attempt_ < kSpinLimit) {
+      CpuRelax();
+    } else if (attempt_ < kYieldLimit) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ++attempt_;
+  }
+
+  void Reset() { attempt_ = 0; }
+
+  int attempts() const { return attempt_; }
+
+ private:
+  static constexpr int kSpinLimit = 16;
+  static constexpr int kYieldLimit = 64;
+  int attempt_ = 0;
+};
+
+}  // namespace sjoin

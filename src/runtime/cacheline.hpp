@@ -1,0 +1,29 @@
+// Cache-line isolation helpers. Handshake-join pipelines communicate only
+// through neighbour FIFO channels; keeping producer/consumer indices on
+// separate cache lines is what makes those channels cheap (paper Section
+// 4.2.1, Baumann et al. [4]).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace sjoin {
+
+// A fixed 64 bytes rather than std::hardware_destructive_interference_size:
+// the latter varies with -mtune (GCC warns that it is ABI-unstable), and 64
+// is the destructive interference size on every mainstream x86-64 and ARM64
+// part this library targets.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so it occupies (at least) its own cache line.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace sjoin

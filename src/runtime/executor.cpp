@@ -1,0 +1,64 @@
+#include "runtime/executor.hpp"
+
+#include "runtime/affinity.hpp"
+
+namespace sjoin {
+
+bool SequentialExecutor::StepOnce() {
+  bool progress = false;
+  for (Steppable* s : steppables_) progress |= s->Step();
+  return progress;
+}
+
+std::size_t SequentialExecutor::RunUntilQuiescent(std::size_t max_passes) {
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    if (!StepOnce()) return pass;
+  }
+  return max_passes;
+}
+
+ThreadedExecutor::~ThreadedExecutor() { Stop(); }
+
+void ThreadedExecutor::Add(Steppable* s, int cpu_hint) {
+  entries_.push_back(Entry{s, cpu_hint});
+}
+
+void ThreadedExecutor::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_release);
+  threads_.reserve(entries_.size());
+  int index = 0;
+  for (auto& entry : entries_) {
+    Entry resolved = entry;
+    if (resolved.cpu_hint < 0) {
+      resolved.cpu_hint =
+          topology_.CpuForNode(index, static_cast<int>(entries_.size()));
+    }
+    ++index;
+    threads_.emplace_back([this, resolved] { ThreadMain(resolved); });
+  }
+}
+
+void ThreadedExecutor::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+void ThreadedExecutor::ThreadMain(const Entry& entry) {
+  PinThisThread(entry.cpu_hint);
+  Backoff backoff;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (entry.steppable->Step()) {
+      backoff.Reset();
+    } else {
+      backoff.Pause();
+    }
+  }
+}
+
+}  // namespace sjoin

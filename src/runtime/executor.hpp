@@ -1,0 +1,93 @@
+// Execution of pipeline nodes. Every node implements Steppable: one Step()
+// processes a bounded number of pending messages and reports whether any
+// progress was made. Two executors share that interface:
+//
+//  * SequentialExecutor — single-threaded, deterministic. Used by the test
+//    oracle comparisons and the schedule fuzzer: correctness of the
+//    handshake-join protocols must not depend on thread timing, so tests
+//    drive nodes in explicit (including adversarial) orders.
+//  * ThreadedExecutor — one thread per node, pinned via Topology, with
+//    progressive backoff when idle. This is the deployment configuration
+//    and what all benchmarks use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/backoff.hpp"
+#include "runtime/topology.hpp"
+
+namespace sjoin {
+
+/// A unit of cooperative execution (pipeline node, collector, ...).
+class Steppable {
+ public:
+  virtual ~Steppable() = default;
+
+  /// Processes a bounded amount of pending work. Returns true iff any
+  /// message was consumed or produced (used for quiescence detection).
+  virtual bool Step() = 0;
+};
+
+/// Deterministic single-threaded executor.
+class SequentialExecutor {
+ public:
+  void Add(Steppable* s) { steppables_.push_back(s); }
+
+  std::size_t size() const { return steppables_.size(); }
+  Steppable* at(std::size_t i) const { return steppables_[i]; }
+
+  /// One pass over all steppables in registration order. Returns true iff
+  /// any made progress.
+  bool StepOnce();
+
+  /// Runs until a full pass makes no progress. Returns the number of passes
+  /// executed; aborts (returns max_passes) if the limit is hit, which tests
+  /// treat as a livelock failure.
+  std::size_t RunUntilQuiescent(std::size_t max_passes = 1 << 22);
+
+ private:
+  std::vector<Steppable*> steppables_;
+};
+
+/// One pinned thread per steppable.
+class ThreadedExecutor {
+ public:
+  explicit ThreadedExecutor(Topology topology = Topology::Detect())
+      : topology_(std::move(topology)) {}
+  ~ThreadedExecutor();
+
+  ThreadedExecutor(const ThreadedExecutor&) = delete;
+  ThreadedExecutor& operator=(const ThreadedExecutor&) = delete;
+
+  /// Registers a steppable. cpu_hint -1 lets the executor choose
+  /// round-robin; pinning is best-effort.
+  void Add(Steppable* s, int cpu_hint = -1);
+
+  void Start();
+
+  /// Signals all threads to finish their current Step and joins them.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  struct Entry {
+    Steppable* steppable;
+    int cpu_hint;
+  };
+
+  void ThreadMain(const Entry& entry);
+
+  Topology topology_;
+  std::vector<Entry> entries_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace sjoin

@@ -1,0 +1,107 @@
+// Bounded single-producer/single-consumer FIFO ring. This is the
+// communication channel of both handshake-join variants: every pipeline
+// node talks exclusively to its immediate neighbours through two of these
+// (paper Section 4.2.1), mirroring the asynchronous message channels of
+// Baumann et al. [4]. Producer and consumer indices live on separate cache
+// lines and each side caches the opposing index to avoid ping-ponging.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+
+namespace sjoin {
+
+/// Wait-free bounded SPSC FIFO. T must be copyable (engines use PODs).
+///
+/// Exactly one thread may call the producer API (TryPush) and one thread the
+/// consumer API (Front/PopFront/TryPop) at a time. Size/free estimates are
+/// exact when called from the respective side.
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer: returns false when full.
+  bool TryPush(const T& item) {
+    const std::size_t tail = tail_->load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_->load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = item;
+    tail_->store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: free slots (exact from producer side).
+  std::size_t FreeApprox() const {
+    const std::size_t tail = tail_->load(std::memory_order_relaxed);
+    const std::size_t head = head_->load(std::memory_order_acquire);
+    return capacity() - (tail - head);
+  }
+
+  /// Consumer: pointer to front element or nullptr when empty. The pointer
+  /// stays valid until PopFront().
+  T* Front() {
+    const std::size_t head = head_->load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_->load(std::memory_order_acquire);
+      if (head == cached_tail_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  /// Consumer: drops the front element. Requires a prior non-null Front().
+  void PopFront() {
+    const std::size_t head = head_->load(std::memory_order_relaxed);
+    assert(head != tail_->load(std::memory_order_acquire) && "pop on empty");
+    head_->store(head + 1, std::memory_order_release);
+  }
+
+  /// Consumer: pop into *out; returns false when empty.
+  bool TryPop(T* out) {
+    T* front = Front();
+    if (front == nullptr) return false;
+    *out = *front;
+    PopFront();
+    return true;
+  }
+
+  /// Either side: approximate number of queued elements.
+  std::size_t SizeApprox() const {
+    const std::size_t tail = tail_->load(std::memory_order_acquire);
+    const std::size_t head = head_->load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  // Producer side.
+  CachePadded<std::atomic<std::size_t>> tail_{};
+  std::size_t cached_head_ = 0;  // producer's cache of head_
+
+  // Consumer side.
+  CachePadded<std::atomic<std::size_t>> head_{};
+  std::size_t cached_tail_ = 0;  // consumer's cache of tail_
+};
+
+}  // namespace sjoin

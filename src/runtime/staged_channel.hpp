@@ -1,0 +1,64 @@
+// Outbound channel wrapper with a local overflow stage. Pipeline nodes must
+// never block while holding an unconsumed input message, or neighbouring
+// nodes can deadlock waiting on each other's queues. The discipline used by
+// both join pipelines is:
+//
+//  * tuple *arrivals* are consumed only when the outbound channel has a few
+//    free slots (Available) — this provides end-to-end backpressure;
+//  * *control* messages (acks, expiries, expedition-ends, flushes) are
+//    always consumed, and their outputs go through Push, which stages
+//    locally if the channel is momentarily full.
+//
+// Control traffic per consumed arrival is bounded, so the stage stays tiny;
+// the two pipeline end nodes consume unconditionally, which makes every
+// wait-for chain terminate (DESIGN.md). A null queue represents a pipeline
+// end: pushes are discarded (the tuple "falls off" the pipeline).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "runtime/spsc_queue.hpp"
+
+namespace sjoin {
+
+template <typename M>
+class StagedChannel {
+ public:
+  explicit StagedChannel(SpscQueue<M>* queue = nullptr) : queue_(queue) {}
+
+  bool connected() const { return queue_ != nullptr; }
+
+  /// True when an arrival may be consumed: nothing staged and at least
+  /// `slack` free slots for its downstream messages.
+  bool Available(std::size_t slack) const {
+    if (queue_ == nullptr) return true;
+    return stage_.empty() && queue_->FreeApprox() >= slack;
+  }
+
+  /// Enqueues, staging locally when the channel is full. Order-preserving.
+  void Push(const M& msg) {
+    if (queue_ == nullptr) return;  // pipeline end: discard
+    if (stage_.empty() && queue_->TryPush(msg)) return;
+    stage_.push_back(msg);
+  }
+
+  /// Moves staged messages into the channel. Returns true on progress.
+  bool Drain() {
+    if (queue_ == nullptr || stage_.empty()) return false;
+    bool progress = false;
+    while (!stage_.empty() && queue_->TryPush(stage_.front())) {
+      stage_.pop_front();
+      progress = true;
+    }
+    return progress;
+  }
+
+  std::size_t staged() const { return stage_.size(); }
+
+ private:
+  SpscQueue<M>* queue_;
+  std::deque<M> stage_;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,42 @@
+#include "runtime/topology.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace sjoin {
+
+Topology Topology::Detect() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(static_cast<unsigned>(cpu), &set)) cpus.push_back(cpu);
+    }
+  }
+#endif
+  if (cpus.empty()) {
+    unsigned hc = std::thread::hardware_concurrency();
+    if (hc == 0) hc = 1;
+    for (unsigned cpu = 0; cpu < hc; ++cpu) cpus.push_back(static_cast<int>(cpu));
+  }
+  return Topology(std::move(cpus));
+}
+
+Topology Topology::Synthetic(int n) {
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < n; ++cpu) cpus.push_back(cpu);
+  return Topology(std::move(cpus));
+}
+
+int Topology::CpuForNode(int node, int total_nodes) const {
+  if (cpus_.empty() || node < 0) return -1;
+  (void)total_nodes;
+  return cpus_[static_cast<std::size_t>(node) % cpus_.size()];
+}
+
+}  // namespace sjoin

@@ -1,0 +1,37 @@
+// Minimal machine-topology model. The paper lays its pipeline out over the
+// HyperTransport ring of an 8-region Magny Cours so that every channel is a
+// short point-to-point link. We reproduce the *placement policy* — pipeline
+// position i goes to the i-th core in a fixed enumeration, so neighbouring
+// nodes land on nearby cores — over whatever CPUs the host exposes.
+#pragma once
+
+#include <vector>
+
+namespace sjoin {
+
+/// Snapshot of the CPUs this process may run on.
+class Topology {
+ public:
+  /// Detects the CPUs in the current affinity mask (Linux) or falls back to
+  /// hardware_concurrency.
+  static Topology Detect();
+
+  /// A topology with exactly `n` fake CPUs (for tests).
+  static Topology Synthetic(int n);
+
+  int cpu_count() const { return static_cast<int>(cpus_.size()); }
+
+  /// CPU for pipeline node `node` of a pipeline with `total_nodes` nodes.
+  /// Nodes are distributed round-robin, preserving neighbour adjacency as
+  /// far as the core count allows.
+  int CpuForNode(int node, int total_nodes) const;
+
+  const std::vector<int>& cpus() const { return cpus_; }
+
+ private:
+  explicit Topology(std::vector<int> cpus) : cpus_(std::move(cpus)) {}
+
+  std::vector<int> cpus_;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,79 @@
+// Result collector (paper Section 5, Figure 15/16). Every pipeline node
+// owns a dedicated result queue; the collector periodically vacuums all of
+// them into the single physical output stream. With punctuation enabled it
+// implements the Section 6.1.3 protocol:
+//
+//   1. read both high-water marks, t_p = min(t_max,R, t_max,S)
+//   2. vacuum all result queues, forwarding result tuples
+//   3. emit the punctuation <t_p> (if it advanced)
+//
+// Reading the marks *before* vacuuming is what makes the punctuation safe:
+// every result produced after step 1 is driven by a tuple that had not yet
+// finished its expedition, whose timestamp is therefore >= t_p.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "stream/handlers.hpp"
+#include "stream/hwm.hpp"
+#include "stream/message.hpp"
+
+namespace sjoin {
+
+template <typename R, typename S>
+class Collector : public Steppable {
+ public:
+  /// `hwm` may be null; punctuations are emitted only when punctuate=true
+  /// and a HighWaterMarks instance is supplied.
+  Collector(std::vector<SpscQueue<ResultMsg<R, S>>*> queues,
+            OutputHandler<R, S>* handler, HighWaterMarks* hwm = nullptr,
+            bool punctuate = false)
+      : queues_(std::move(queues)),
+        handler_(handler),
+        hwm_(hwm),
+        punctuate_(punctuate && hwm != nullptr) {}
+
+  /// One vacuum round. Returns the number of results forwarded.
+  std::size_t VacuumOnce() {
+    Timestamp tp = kMinTimestamp;
+    if (punctuate_) tp = hwm_->SafeMin();  // step 1: read marks first
+
+    std::size_t drained = 0;
+    for (auto* queue : queues_) {  // step 2: vacuum
+      ResultMsg<R, S> msg;
+      while (queue->TryPop(&msg)) {
+        handler_->OnResult(msg);
+        ++drained;
+      }
+    }
+    total_ += drained;
+
+    if (punctuate_ && tp != kMinTimestamp && tp > last_punctuation_) {
+      handler_->OnPunctuation(tp);  // step 3
+      last_punctuation_ = tp;
+      ++punctuations_emitted_;
+    }
+    return drained;
+  }
+
+  bool Step() override { return VacuumOnce() > 0; }
+
+  uint64_t total_collected() const { return total_; }
+  uint64_t punctuations_emitted() const { return punctuations_emitted_; }
+  Timestamp last_punctuation() const { return last_punctuation_; }
+
+ private:
+  std::vector<SpscQueue<ResultMsg<R, S>>*> queues_;
+  OutputHandler<R, S>* handler_;
+  HighWaterMarks* hwm_;
+  bool punctuate_;
+  Timestamp last_punctuation_ = kMinTimestamp;
+  uint64_t total_ = 0;
+  uint64_t punctuations_emitted_ = 0;
+};
+
+}  // namespace sjoin

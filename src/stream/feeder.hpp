@@ -1,0 +1,263 @@
+// The driver threads of the paper (Figure 15) rolled into one Steppable
+// feeder: it pulls driver events from a WorkloadSource, routes them to the
+// correct pipeline end, and reproduces the prototype's batching behaviour —
+// tuples are accumulated into fixed-size batches before being pushed into
+// the pipeline (Section 7.3: batch size 64 by default, 4 for the
+// reduced-batching experiment of Figure 20). Batching delay is therefore
+// part of measured latency, exactly as in the paper.
+//
+// Two operation modes:
+//  * max-rate: events are released as fast as the pipeline accepts them
+//    (throughput experiments — "maximum throughput the system could sustain
+//    without dropping any data": bounded queues provide the backpressure).
+//  * paced: event timestamps are mapped onto the wall clock
+//    (wall = start + ts), and tuples are released only once due
+//    (latency experiments at a fixed input rate).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "runtime/executor.hpp"
+#include "stream/hwm.hpp"
+#include "stream/message.hpp"
+#include "stream/ports.hpp"
+#include "stream/source.hpp"
+
+namespace sjoin {
+
+template <typename R, typename S>
+class Feeder : public Steppable {
+ public:
+  struct Options {
+    int batch_size = 64;   ///< per-side batch before pushing (paper: 64)
+    bool paced = false;    ///< honor event timestamps against wall clock
+    int max_events_per_step = 512;
+    /// Stop generating events while either side's undelivered backlog
+    /// exceeds this bound (0 = derive from batch size). This couples the
+    /// two flows: if one pipeline end exerts backpressure, the driver stops
+    /// advancing the *other* flow too, so the streams can never skew by
+    /// more than outbox + channel capacity — the bounded-lag precondition
+    /// of the handshake-join protocols (DESIGN.md).
+    std::size_t max_outbox = 0;
+    /// When set (LLHJ), an expiry message is released into its flow only
+    /// after the expiring tuple has *completed its expedition* (end nodes
+    /// publish completion through the high-water marks). This preserves
+    /// exactness even when the driver runs far ahead of the pipeline: no
+    /// tuple can be met in flight by an opposite tuple that entered behind
+    /// its expiry. Messages queued behind a gated expiry wait with it, so
+    /// flow order is preserved. In the paper's regime (windows of seconds,
+    /// expeditions of microseconds) the gate never throttles.
+    const HighWaterMarks* expiry_gate = nullptr;
+  };
+
+  Feeder(PipelinePorts<R, S> ports, WorkloadSource<R, S>* source,
+         const Options& options)
+      : ports_(ports), source_(source), options_(options) {
+    if (options_.max_outbox == 0) {
+      options_.max_outbox = std::max<std::size_t>(
+          16, 2 * static_cast<std::size_t>(options_.batch_size));
+    }
+  }
+
+  bool Step() override {
+    bool progress = false;
+    progress |= PushOutbox(&left_outbox_, ports_.left);
+    progress |= PushOutbox(&right_outbox_, ports_.right);
+
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      FlushPending();
+      progress |= PushOutbox(&left_outbox_, ports_.left);
+      progress |= PushOutbox(&right_outbox_, ports_.right);
+      return progress;
+    }
+
+    if (!started_) {
+      start_wall_ns_ = NowNs();
+      started_ = true;
+    }
+
+    int produced = 0;
+    const int64_t now = NowNs();
+    while (produced < options_.max_events_per_step) {
+      if (exhausted_) break;
+      if (left_outbox_.size() >= options_.max_outbox ||
+          right_outbox_.size() >= options_.max_outbox) {
+        break;  // downstream backpressure: hold *both* flows back
+      }
+      if (!have_next_ && !source_->Next(&next_event_)) {
+        exhausted_ = true;
+        break;
+      }
+      have_next_ = true;
+      if (options_.paced) {
+        const int64_t due = start_wall_ns_ + next_event_.ts * 1000;
+        if (due > now) break;  // not yet due
+      }
+      Route(next_event_);
+      have_next_ = false;
+      ++produced;
+      progress = true;
+    }
+
+    if (exhausted_ && !have_next_) FlushPending();
+
+    // If an expiry is gate-blocked, the tuple it waits for may still sit in
+    // the opposite pending batch; flush so the pipeline can complete it.
+    if (GateBlocked(left_outbox_) || GateBlocked(right_outbox_)) {
+      FlushPending();
+    }
+
+    progress |= PushOutbox(&left_outbox_, ports_.left);
+    progress |= PushOutbox(&right_outbox_, ports_.right);
+    return progress;
+  }
+
+  /// Stop producing new events; pending batches are still flushed.
+  void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
+
+  bool finished() const {
+    return (exhausted_ || stop_requested_.load(std::memory_order_acquire)) &&
+           left_pending_.empty() && right_pending_.empty() &&
+           left_outbox_.empty() && right_outbox_.empty();
+  }
+
+  uint64_t arrivals_pushed(StreamSide side) const {
+    return side == StreamSide::kR
+               ? r_pushed_.load(std::memory_order_relaxed)
+               : s_pushed_.load(std::memory_order_relaxed);
+  }
+
+  int64_t start_wall_ns() const { return start_wall_ns_; }
+
+ private:
+  void Route(const DriverEvent<R, S>& event) {
+    const int64_t wall =
+        options_.paced ? start_wall_ns_ + event.ts * 1000 : NowNs();
+    switch (event.op) {
+      case DriverOp::kArriveR: {
+        FlowMsg<R> msg;
+        msg.kind = MsgKind::kArrival;
+        msg.seq = event.seq;
+        msg.ts = event.ts;
+        msg.arrival_wall_ns = wall;
+        msg.payload = event.r;
+        left_pending_.push_back(msg);
+        r_pushed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case DriverOp::kArriveS: {
+        FlowMsg<S> msg;
+        msg.kind = MsgKind::kArrival;
+        msg.seq = event.seq;
+        msg.ts = event.ts;
+        msg.arrival_wall_ns = wall;
+        msg.payload = event.s;
+        right_pending_.push_back(msg);
+        s_pushed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case DriverOp::kExpireR: {
+        // R expiries enter at the right end and travel right-to-left.
+        FlowMsg<S> msg;
+        msg.kind = MsgKind::kExpiry;
+        msg.ref_side = StreamSide::kR;
+        msg.seq = event.seq;
+        msg.ts = event.ts;
+        right_pending_.push_back(msg);
+        break;
+      }
+      case DriverOp::kExpireS: {
+        FlowMsg<R> msg;
+        msg.kind = MsgKind::kExpiry;
+        msg.ref_side = StreamSide::kS;
+        msg.seq = event.seq;
+        msg.ts = event.ts;
+        left_pending_.push_back(msg);
+        break;
+      }
+      case DriverOp::kFlushR: {
+        FlowMsg<R> msg;
+        msg.kind = MsgKind::kFlush;
+        left_pending_.push_back(msg);
+        break;
+      }
+      case DriverOp::kFlushS: {
+        FlowMsg<S> msg;
+        msg.kind = MsgKind::kFlush;
+        right_pending_.push_back(msg);
+        break;
+      }
+    }
+    if (static_cast<int>(left_pending_.size()) >= options_.batch_size) {
+      MoveToOutbox(&left_pending_, &left_outbox_);
+    }
+    if (static_cast<int>(right_pending_.size()) >= options_.batch_size) {
+      MoveToOutbox(&right_pending_, &right_outbox_);
+    }
+  }
+
+  void FlushPending() {
+    if (!left_pending_.empty()) MoveToOutbox(&left_pending_, &left_outbox_);
+    if (!right_pending_.empty()) MoveToOutbox(&right_pending_, &right_outbox_);
+  }
+
+  template <typename T>
+  static void MoveToOutbox(std::vector<FlowMsg<T>>* pending,
+                           std::deque<FlowMsg<T>>* outbox) {
+    for (const auto& msg : *pending) outbox->push_back(msg);
+    pending->clear();
+  }
+
+  template <typename T>
+  bool GateBlocked(const std::deque<FlowMsg<T>>& outbox) const {
+    if (outbox.empty() || options_.expiry_gate == nullptr) return false;
+    const FlowMsg<T>& front = outbox.front();
+    return front.kind == MsgKind::kExpiry &&
+           options_.expiry_gate->CompletedSeq(front.ref_side) <
+               static_cast<int64_t>(front.seq);
+  }
+
+  template <typename T>
+  bool PushOutbox(std::deque<FlowMsg<T>>* outbox, SpscQueue<FlowMsg<T>>* q) {
+    bool progress = false;
+    while (!outbox->empty()) {
+      const FlowMsg<T>& front = outbox->front();
+      if (front.kind == MsgKind::kExpiry && options_.expiry_gate != nullptr &&
+          options_.expiry_gate->CompletedSeq(front.ref_side) <
+              static_cast<int64_t>(front.seq)) {
+        break;  // tuple still travelling; hold this flow back
+      }
+      if (!q->TryPush(front)) break;
+      outbox->pop_front();
+      progress = true;
+    }
+    return progress;
+  }
+
+  PipelinePorts<R, S> ports_;
+  WorkloadSource<R, S>* source_;
+  Options options_;
+
+  std::vector<FlowMsg<R>> left_pending_;
+  std::vector<FlowMsg<S>> right_pending_;
+  std::deque<FlowMsg<R>> left_outbox_;
+  std::deque<FlowMsg<S>> right_outbox_;
+
+  DriverEvent<R, S> next_event_{};
+  bool have_next_ = false;
+  bool exhausted_ = false;
+  bool started_ = false;
+  int64_t start_wall_ns_ = 0;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> r_pushed_{0};
+  std::atomic<uint64_t> s_pushed_{0};
+};
+
+}  // namespace sjoin

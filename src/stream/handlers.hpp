@@ -1,0 +1,110 @@
+// Output handlers consumed by the collector: the downstream side of the
+// operator. Handlers receive the merged result stream plus punctuations and
+// can be chained (Tee) — e.g. latency recording feeding a sorting operator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "stream/message.hpp"
+#include "stream/stats.hpp"
+
+namespace sjoin {
+
+/// Interface for consumers of the collected output stream.
+template <typename R, typename S>
+class OutputHandler {
+ public:
+  virtual ~OutputHandler() = default;
+  virtual void OnResult(const ResultMsg<R, S>& result) = 0;
+  virtual void OnPunctuation(Timestamp tp) {}
+};
+
+/// Stores everything (tests, examples).
+template <typename R, typename S>
+class CollectingHandler : public OutputHandler<R, S> {
+ public:
+  void OnResult(const ResultMsg<R, S>& result) override {
+    results_.push_back(result);
+  }
+  void OnPunctuation(Timestamp tp) override { punctuations_.push_back(tp); }
+
+  const std::vector<ResultMsg<R, S>>& results() const { return results_; }
+  const std::vector<Timestamp>& punctuations() const { return punctuations_; }
+
+ private:
+  std::vector<ResultMsg<R, S>> results_;
+  std::vector<Timestamp> punctuations_;
+};
+
+/// Counts results; the count is safe to read from other threads.
+template <typename R, typename S>
+class CountingHandler : public OutputHandler<R, S> {
+ public:
+  void OnResult(const ResultMsg<R, S>&) override {
+    count_.store(count_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Records per-result latency (emit wall time minus the arrival wall time of
+/// the later input tuple) into an overall stat and a per-interval series.
+/// Forwards to an optional downstream handler.
+template <typename R, typename S>
+class LatencyRecorder : public OutputHandler<R, S> {
+ public:
+  explicit LatencyRecorder(OutputHandler<R, S>* next = nullptr,
+                           int64_t bucket_ns = 1'000'000'000)
+      : next_(next), series_(bucket_ns) {}
+
+  void OnResult(const ResultMsg<R, S>& result) override {
+    const int64_t now = NowNs();
+    const double latency_ms = NsToMs(now - result.ready_wall_ns);
+    overall_.Add(latency_ms);
+    series_.Add(now, latency_ms);
+    if (next_ != nullptr) next_->OnResult(result);
+  }
+
+  void OnPunctuation(Timestamp tp) override {
+    if (next_ != nullptr) next_->OnPunctuation(tp);
+  }
+
+  void Anchor(int64_t wall_ns) { series_.Anchor(wall_ns); }
+
+  const RunningStat& overall() const { return overall_; }
+  const TimeSeriesStat& series() const { return series_; }
+
+ private:
+  OutputHandler<R, S>* next_;
+  RunningStat overall_;
+  TimeSeriesStat series_;
+};
+
+/// Fans one stream out to two handlers.
+template <typename R, typename S>
+class TeeHandler : public OutputHandler<R, S> {
+ public:
+  TeeHandler(OutputHandler<R, S>* a, OutputHandler<R, S>* b) : a_(a), b_(b) {}
+
+  void OnResult(const ResultMsg<R, S>& result) override {
+    a_->OnResult(result);
+    b_->OnResult(result);
+  }
+  void OnPunctuation(Timestamp tp) override {
+    a_->OnPunctuation(tp);
+    b_->OnPunctuation(tp);
+  }
+
+ private:
+  OutputHandler<R, S>* a_;
+  OutputHandler<R, S>* b_;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,24 @@
+// Closed-form latency model of the original handshake join (paper Section
+// 3.1). With windows |W_R| and |W_S| in steady flow, a pair meeting at
+// pipeline position alpha yields observed latency
+//
+//     T - max(t_r, t_s)  <  |W_R| * |W_S| / (|W_R| + |W_S|)
+//
+// and for equal windows the expected maximum is |W|/2. Units are whatever
+// the caller uses for window sizes (the model is scale-free).
+#pragma once
+
+namespace sjoin {
+
+/// Upper bound on HSJ result latency (Equation 8).
+constexpr double HsjMaxLatencyBound(double wr, double ws) {
+  return (wr <= 0.0 || ws <= 0.0) ? 0.0 : wr * ws / (wr + ws);
+}
+
+/// Pipeline position alpha at which tuples with t_r == t_s meet
+/// (Equation 3 solved for t_r - t_s = 0).
+constexpr double HsjEqualTimestampMeetingPoint(double wr, double ws) {
+  return (wr + ws) <= 0.0 ? 0.5 : ws / (wr + ws);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,99 @@
+// Wire format of the pipeline channels. Both handshake-join variants send
+// exactly these message kinds between neighbouring nodes:
+//
+//   left-to-right flow (FlowMsg<R>):  R arrivals, acknowledgements of
+//     forwarded S tuples, expiry messages for S tuples, flush (R side).
+//   right-to-left flow (FlowMsg<S>):  S arrivals, expiry messages for R
+//     tuples, expedition-end messages for R tuples (LLHJ only, paper
+//     Section 4.2.3), flush (S side).
+//
+// Messages are PODs so the SPSC channels stay trivially copyable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sjoin {
+
+enum class MsgKind : uint8_t {
+  kArrival = 0,        ///< new or relocated tuple (payload valid)
+  kAck = 1,            ///< acknowledgement of a forwarded opposite-stream tuple
+  kExpiry = 2,         ///< window expiry of an opposite-stream tuple
+  kExpeditionEnd = 3,  ///< LLHJ: tuple `seq` of R finished its expedition
+  kFlush = 4,          ///< HSJ: force relocation of all resident tuples
+};
+
+/// FlowMsg flag bits.
+inline constexpr uint8_t kMsgRelocated = 0x1;  ///< HSJ: relocation, not fresh
+/// HSJ: the tuple's expiry caught it before it finished traversing the
+/// pipeline. It continues as a non-resident "dying" traveller: it still
+/// scans the remaining opposite segments (meeting partners that arrived
+/// before its expiry) but is never stored again and self-discards at the
+/// pipeline end. This realizes the idealized algorithm's "a tuple exits the
+/// far end exactly when it expires" under discrete relocation.
+inline constexpr uint8_t kMsgDying = 0x2;
+
+/// A message travelling through one pipeline direction. T is the tuple type
+/// of the stream that flows in this direction (payload is only meaningful
+/// for kArrival; kAck/kExpiry reference an *opposite*-stream tuple by seq).
+template <typename T>
+struct FlowMsg {
+  MsgKind kind = MsgKind::kArrival;
+  uint8_t flags = 0;
+  /// Which stream the referenced tuple belongs to. Meaningful for kExpiry:
+  /// an expiry normally travels opposite to its tuple's flow, but while
+  /// *chasing* a relocating tuple (HSJ, see DESIGN.md) it may ride either
+  /// flow, so the side must be explicit.
+  StreamSide ref_side = StreamSide::kR;
+  uint16_t hops = 0;    ///< diagnostic hop counter (expiry chase guard)
+  NodeId home = kNoNode;
+  Seq seq = 0;
+  Timestamp ts = 0;
+  int64_t arrival_wall_ns = 0;
+  T payload{};
+};
+
+/// Builds an arrival message from a stamped tuple.
+template <typename T>
+FlowMsg<T> MakeArrival(const Stamped<T>& t) {
+  FlowMsg<T> msg;
+  msg.kind = MsgKind::kArrival;
+  msg.seq = t.seq;
+  msg.ts = t.ts;
+  msg.arrival_wall_ns = t.arrival_wall_ns;
+  msg.payload = t.value;
+  return msg;
+}
+
+/// A join result as produced inside the pipeline. `ts` is the result
+/// timestamp max(t_r, t_s) (paper Section 6.1.2); `ready_wall_ns` is the
+/// wall-clock arrival of the later input tuple, the latency reference point.
+template <typename R, typename S>
+struct ResultMsg {
+  R r{};
+  S s{};
+  Seq r_seq = 0;
+  Seq s_seq = 0;
+  Timestamp ts = 0;
+  int64_t ready_wall_ns = 0;
+  NodeId origin = kNoNode;  ///< node that evaluated the predicate
+};
+
+template <typename R, typename S>
+ResultMsg<R, S> MakeResult(const Stamped<R>& r, const Stamped<S>& s,
+                           NodeId origin) {
+  ResultMsg<R, S> out;
+  out.r = r.value;
+  out.s = s.value;
+  out.r_seq = r.seq;
+  out.s_seq = s.seq;
+  out.ts = r.ts > s.ts ? r.ts : s.ts;
+  out.ready_wall_ns = r.arrival_wall_ns > s.arrival_wall_ns
+                          ? r.arrival_wall_ns
+                          : s.arrival_wall_ns;
+  out.origin = origin;
+  return out;
+}
+
+}  // namespace sjoin

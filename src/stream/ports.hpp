@@ -1,0 +1,17 @@
+// The driver-facing entry points of a join pipeline: R arrivals (plus S
+// expiries and R flushes) enter on the left, S arrivals (plus R expiries
+// and S flushes) enter on the right (paper Section 4.2.4).
+#pragma once
+
+#include "runtime/spsc_queue.hpp"
+#include "stream/message.hpp"
+
+namespace sjoin {
+
+template <typename R, typename S>
+struct PipelinePorts {
+  SpscQueue<FlowMsg<R>>* left = nullptr;
+  SpscQueue<FlowMsg<S>>* right = nullptr;
+};
+
+}  // namespace sjoin

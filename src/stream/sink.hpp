@@ -1,0 +1,93 @@
+// Result sinks: where pipeline nodes emit join matches. Nodes are templated
+// on the sink so the hot emit path has no virtual dispatch.
+//
+//  * QueueSink  — per-node SPSC result queue drained by the collector
+//    thread (the deployment configuration, paper Figure 15).
+//  * VectorSink — unbounded in-memory buffer for deterministic tests.
+//  * CountingSink — discards payloads, counts matches (throughput benches
+//    where result contents are irrelevant).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "runtime/staged_channel.hpp"
+#include "stream/message.hpp"
+
+namespace sjoin {
+
+/// Non-blocking emit into a bounded SPSC result queue with a local overflow
+/// stage. Pipeline nodes must never block mid-step (a blocked node cannot
+/// drain its own inputs, and in single-threaded execution it would starve
+/// the collector), so bursts beyond the queue capacity stage locally and
+/// drain on subsequent steps. This is the sink both pipelines use.
+template <typename R, typename S>
+class StagedQueueSink {
+ public:
+  explicit StagedQueueSink(SpscQueue<ResultMsg<R, S>>* queue)
+      : channel_(queue) {}
+
+  void Emit(const ResultMsg<R, S>& result) {
+    channel_.Push(result);
+    ++emitted_;
+  }
+
+  /// Moves staged results into the queue; called from the node's Step.
+  bool Drain() { return channel_.Drain(); }
+
+  uint64_t emitted() const { return emitted_; }
+  std::size_t staged() const { return channel_.staged(); }
+
+ private:
+  StagedChannel<ResultMsg<R, S>> channel_;
+  uint64_t emitted_ = 0;
+};
+
+/// Blocking push into a bounded SPSC result queue. Blocking is safe because
+/// the collector always drains; backoff keeps the wait cheap.
+template <typename R, typename S>
+class QueueSink {
+ public:
+  explicit QueueSink(SpscQueue<ResultMsg<R, S>>* queue) : queue_(queue) {}
+
+  void Emit(const ResultMsg<R, S>& result) {
+    Backoff backoff;
+    while (!queue_->TryPush(result)) backoff.Pause();
+    ++emitted_;
+  }
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  SpscQueue<ResultMsg<R, S>>* queue_;
+  uint64_t emitted_ = 0;
+};
+
+/// Unbounded buffer; single-threaded use only.
+template <typename R, typename S>
+class VectorSink {
+ public:
+  void Emit(const ResultMsg<R, S>& result) { results_.push_back(result); }
+
+  const std::vector<ResultMsg<R, S>>& results() const { return results_; }
+  std::vector<ResultMsg<R, S>>& mutable_results() { return results_; }
+
+ private:
+  std::vector<ResultMsg<R, S>> results_;
+};
+
+/// Counts matches without storing them.
+template <typename R, typename S>
+class CountingSink {
+ public:
+  void Emit(const ResultMsg<R, S>&) { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,76 @@
+// Downstream sorting operator (paper Sections 6.2, 7.5). Consumes the
+// punctuated result stream and produces a physically ordered stream: results
+// are buffered until a punctuation <t_p> proves that no later result can
+// have a timestamp < t_p, at which point everything strictly older than t_p
+// is sorted and released. The maximum buffer occupancy is the metric of
+// Figure 21 — with punctuations it stays tiny; without them the operator
+// would have to buffer on the order of window-length x output-rate tuples.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stream/handlers.hpp"
+#include "stream/message.hpp"
+
+namespace sjoin {
+
+template <typename R, typename S>
+class PunctuationSorter : public OutputHandler<R, S> {
+ public:
+  explicit PunctuationSorter(OutputHandler<R, S>* next) : next_(next) {}
+
+  void OnResult(const ResultMsg<R, S>& result) override {
+    buffer_.push_back(result);
+    max_buffered_ = std::max(max_buffered_, buffer_.size());
+  }
+
+  void OnPunctuation(Timestamp tp) override {
+    // Release everything strictly older than tp; results with ts == tp may
+    // still be joined by future arrivals with the same timestamp, so they
+    // stay buffered.
+    auto split = std::partition(
+        buffer_.begin(), buffer_.end(),
+        [tp](const ResultMsg<R, S>& m) { return m.ts >= tp; });
+    std::sort(split, buffer_.end(), Less);
+    for (auto it = split; it != buffer_.end(); ++it) {
+      last_emitted_ts_ = it->ts;
+      ++emitted_;
+      if (next_ != nullptr) next_->OnResult(*it);
+    }
+    buffer_.erase(split, buffer_.end());
+    if (next_ != nullptr) next_->OnPunctuation(tp);
+  }
+
+  /// End-of-stream: release the remaining buffer in order.
+  void Flush() {
+    std::sort(buffer_.begin(), buffer_.end(), Less);
+    for (const auto& m : buffer_) {
+      last_emitted_ts_ = m.ts;
+      ++emitted_;
+      if (next_ != nullptr) next_->OnResult(m);
+    }
+    buffer_.clear();
+  }
+
+  std::size_t max_buffered() const { return max_buffered_; }
+  std::size_t buffered() const { return buffer_.size(); }
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  static bool Less(const ResultMsg<R, S>& a, const ResultMsg<R, S>& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.r_seq != b.r_seq) return a.r_seq < b.r_seq;
+    return a.s_seq < b.s_seq;
+  }
+
+  OutputHandler<R, S>* next_;
+  std::vector<ResultMsg<R, S>> buffer_;
+  std::size_t max_buffered_ = 0;
+  uint64_t emitted_ = 0;
+  Timestamp last_emitted_ts_ = kMinTimestamp;
+};
+
+}  // namespace sjoin

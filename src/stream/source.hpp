@@ -1,0 +1,134 @@
+// Workload sources: the driver-side producers of arrival/expiry events.
+// ScriptSource replays a prebuilt DriverScript (tests, latency experiments
+// on fixed traces); GeneratedSource produces an endless paced workload with
+// inline window bookkeeping (throughput and long-running latency benches).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "stream/script.hpp"
+#include "stream/window.hpp"
+
+namespace sjoin {
+
+template <typename R, typename S>
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  /// Produces the next driver event. Returns false when exhausted.
+  virtual bool Next(DriverEvent<R, S>* out) = 0;
+};
+
+/// Replays a DriverScript.
+template <typename R, typename S>
+class ScriptSource : public WorkloadSource<R, S> {
+ public:
+  explicit ScriptSource(const DriverScript<R, S>* script) : script_(script) {}
+
+  bool Next(DriverEvent<R, S>* out) override {
+    if (index_ >= script_->events.size()) return false;
+    *out = script_->events[index_++];
+    return true;
+  }
+
+  std::size_t position() const { return index_; }
+
+ private:
+  const DriverScript<R, S>* script_;
+  std::size_t index_ = 0;
+};
+
+/// Endless (or bounded) generated workload: arrivals alternate R/S spaced
+/// `period_us` apart in event time; expiries are interleaved according to
+/// the window specs exactly as BuildDriverScript would.
+template <typename R, typename S>
+class GeneratedSource : public WorkloadSource<R, S> {
+ public:
+  struct Options {
+    WindowSpec wr = WindowSpec::Count(1024);
+    WindowSpec ws = WindowSpec::Count(1024);
+    int64_t period_us = 1;       ///< event-time gap between arrivals
+    uint64_t seed = 42;
+    uint64_t max_arrivals = 0;   ///< 0 = unbounded
+  };
+
+  GeneratedSource(std::function<R(Rng&)> gen_r, std::function<S(Rng&)> gen_s,
+                  const Options& options)
+      : gen_r_(std::move(gen_r)),
+        gen_s_(std::move(gen_s)),
+        options_(options),
+        rng_(options.seed),
+        tracker_(options.wr, options.ws) {}
+
+  bool Next(DriverEvent<R, S>* out) override {
+    if (pending_.has_value()) {
+      *out = *pending_;
+      pending_.reset();
+      return true;
+    }
+    if (options_.max_arrivals != 0 && arrivals_ >= options_.max_arrivals) {
+      return false;
+    }
+
+    const Timestamp next_ts = static_cast<Timestamp>(arrivals_) *
+                              options_.period_us;
+
+    // Time-window expiries due before the next arrival.
+    StreamSide exp_side;
+    Seq exp_seq;
+    Timestamp exp_ts;
+    if (tracker_.PopTimeExpiry(next_ts, &exp_side, &exp_seq, &exp_ts)) {
+      out->op = exp_side == StreamSide::kR ? DriverOp::kExpireR
+                                           : DriverOp::kExpireS;
+      out->seq = exp_seq;
+      out->ts = exp_ts;
+      return true;
+    }
+
+    // The arrival itself, alternating R / S.
+    const bool is_r = (arrivals_ % 2) == 0;
+    DriverEvent<R, S> arrive;
+    arrive.ts = next_ts;
+    if (is_r) {
+      arrive.op = DriverOp::kArriveR;
+      arrive.seq = r_seq_++;
+      arrive.r = gen_r_(rng_);
+    } else {
+      arrive.op = DriverOp::kArriveS;
+      arrive.seq = s_seq_++;
+      arrive.s = gen_s_(rng_);
+    }
+    ++arrivals_;
+
+    // Count-window expiry triggered by this arrival is emitted right after.
+    if (tracker_.OnArrival(is_r ? StreamSide::kR : StreamSide::kS, arrive.seq,
+                           arrive.ts, &exp_seq, &exp_ts)) {
+      DriverEvent<R, S> expire;
+      expire.op = is_r ? DriverOp::kExpireR : DriverOp::kExpireS;
+      expire.seq = exp_seq;
+      expire.ts = exp_ts;
+      pending_ = expire;
+    }
+
+    *out = arrive;
+    return true;
+  }
+
+ private:
+  std::function<R(Rng&)> gen_r_;
+  std::function<S(Rng&)> gen_s_;
+  Options options_;
+  Rng rng_;
+  ExpiryTracker tracker_;
+  uint64_t arrivals_ = 0;
+  Seq r_seq_ = 0;
+  Seq s_seq_ = 0;
+  std::optional<DriverEvent<R, S>> pending_;
+};
+
+}  // namespace sjoin

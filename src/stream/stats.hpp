@@ -1,0 +1,95 @@
+// Streaming statistics used by the latency experiments: Welford running
+// moments (numerically stable mean/stddev) plus a wall-clock-bucketed time
+// series matching the "moving average / maximum per interval" plots of the
+// paper (Figures 5, 19, 20).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sjoin {
+
+/// Welford's online algorithm for count/mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void Merge(const RunningStat& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Values bucketed by wall-clock interval (default 1 s), for the latency-
+/// over-time plots. The first Add() anchors bucket 0.
+class TimeSeriesStat {
+ public:
+  explicit TimeSeriesStat(int64_t bucket_ns = 1'000'000'000)
+      : bucket_ns_(bucket_ns) {}
+
+  void Add(int64_t wall_ns, double value) {
+    if (!anchored_) {
+      base_ns_ = wall_ns;
+      anchored_ = true;
+    }
+    int64_t idx64 = (wall_ns - base_ns_) / bucket_ns_;
+    if (idx64 < 0) idx64 = 0;
+    const std::size_t idx = static_cast<std::size_t>(idx64);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+    buckets_[idx].Add(value);
+  }
+
+  /// Anchor explicitly (e.g. at experiment start) so bucket 0 is t=0.
+  void Anchor(int64_t wall_ns) {
+    base_ns_ = wall_ns;
+    anchored_ = true;
+  }
+
+  const std::vector<RunningStat>& buckets() const { return buckets_; }
+  int64_t bucket_ns() const { return bucket_ns_; }
+
+ private:
+  int64_t bucket_ns_;
+  int64_t base_ns_ = 0;
+  bool anchored_ = false;
+  std::vector<RunningStat> buckets_;
+};
+
+}  // namespace sjoin

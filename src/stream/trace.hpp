@@ -1,0 +1,43 @@
+// A trace is the raw input of a join run: interleaved arrivals on both
+// streams with non-decreasing timestamps. Traces are what workload
+// generators produce and what the driver turns into a script of arrivals
+// and expiries.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sjoin {
+
+/// One arrival. Only the payload matching `side` is meaningful.
+template <typename R, typename S>
+struct TraceEvent {
+  StreamSide side = StreamSide::kR;
+  Timestamp ts = 0;
+  R r{};
+  S s{};
+};
+
+template <typename R, typename S>
+using Trace = std::vector<TraceEvent<R, S>>;
+
+template <typename R, typename S>
+TraceEvent<R, S> ArriveR(Timestamp ts, const R& r) {
+  TraceEvent<R, S> e;
+  e.side = StreamSide::kR;
+  e.ts = ts;
+  e.r = r;
+  return e;
+}
+
+template <typename R, typename S>
+TraceEvent<R, S> ArriveS(Timestamp ts, const S& s) {
+  TraceEvent<R, S> e;
+  e.side = StreamSide::kS;
+  e.ts = ts;
+  e.s = s;
+  return e;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,35 @@
+// Sliding-window specifications. Following the paper (Section 4.2.4), the
+// join pipelines themselves are oblivious to the window type: an external
+// driver interprets the WindowSpec and turns it into explicit expiry
+// messages. Both classic forms are supported.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace sjoin {
+
+/// Time-based (last tau microseconds) or count-based (last k tuples) window.
+struct WindowSpec {
+  enum class Type { kTime, kCount };
+
+  Type type = Type::kTime;
+  int64_t size = 0;  ///< microseconds for kTime, tuples for kCount
+
+  /// Window covering the last `micros` microseconds of the stream.
+  static WindowSpec Time(int64_t micros) {
+    if (micros < 0) throw std::invalid_argument("negative time window");
+    return WindowSpec{Type::kTime, micros};
+  }
+
+  /// Window covering the last `tuples` tuples of the stream.
+  static WindowSpec Count(int64_t tuples) {
+    if (tuples < 0) throw std::invalid_argument("negative count window");
+    return WindowSpec{Type::kCount, tuples};
+  }
+
+  bool is_time() const { return type == Type::kTime; }
+  bool is_count() const { return type == Type::kCount; }
+};
+
+}  // namespace sjoin

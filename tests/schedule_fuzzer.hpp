@@ -1,0 +1,101 @@
+// Adversarial schedule fuzzing. Correctness of the handshake-join protocols
+// must hold for *any* interleaving of node executions — the paper's
+// arguments rest on per-channel FIFO order only. The fuzzer executes a
+// pipeline under seeded random schedules: every round the components
+// (feeder, nodes, collector) run in a random permutation, and components
+// are randomly "starved" for up to a bounded number of consecutive rounds.
+// This reproduces the races the protocols guard against (in-flight
+// crossings, expiry chases, expedition-end ordering) deterministically.
+//
+// Starvation stays bounded and the feeder injects at most one driver event
+// per round, so a window of w events is always much larger than the
+// pipeline transit time — the regime the algorithms (and the paper) assume.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/executor.hpp"
+#include "stream/collector.hpp"
+#include "stream/feeder.hpp"
+#include "stream/handlers.hpp"
+#include "stream/script.hpp"
+#include "stream/source.hpp"
+
+#include "test_util.hpp"
+
+namespace sjoin::test {
+
+struct FuzzResult {
+  std::vector<ResultMsg<TR, TS>> results;
+  bool quiesced = false;
+  uint64_t rounds = 0;
+};
+
+/// Runs `pipeline` over `script` under a seeded adversarial schedule.
+template <typename Pipeline>
+FuzzResult RunFuzzedSchedule(Pipeline& pipeline,
+                             const DriverScript<TR, TS>& script,
+                             uint64_t seed, double skip_probability = 0.35,
+                             int max_consecutive_skips = 3) {
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options feeder_options;
+  feeder_options.batch_size = 1;
+  feeder_options.max_events_per_step = 1;
+  Feeder<TR, TS> feeder(pipeline.ports(), &source, feeder_options);
+
+  CollectingHandler<TR, TS> handler;
+  auto collector = pipeline.MakeCollector(&handler);
+
+  std::vector<Steppable*> components;
+  components.push_back(&feeder);
+  for (Steppable* node : pipeline.nodes()) components.push_back(node);
+  components.push_back(collector.get());
+
+  std::vector<int> skips(components.size(), 0);
+  std::vector<std::size_t> order(components.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Rng rng(seed);
+  FuzzResult out;
+  constexpr uint64_t kMaxRounds = 1 << 22;
+  for (uint64_t round = 0; round < kMaxRounds; ++round) {
+    // Fisher-Yates shuffle of the execution order.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+
+    bool progress = false;
+    for (std::size_t idx : order) {
+      if (skips[idx] < max_consecutive_skips &&
+          rng.Chance(skip_probability)) {
+        ++skips[idx];
+        continue;
+      }
+      skips[idx] = 0;
+      progress |= components[idx]->Step();
+    }
+
+    if (!progress) {
+      // Confirm quiescence with a clean, skip-free pass.
+      bool confirm = false;
+      for (Steppable* c : components) confirm |= c->Step();
+      if (!confirm) {
+        out.quiesced = true;
+        out.rounds = round;
+        break;
+      }
+    }
+  }
+
+  EXPECT_TRUE(out.quiesced) << "schedule did not quiesce";
+  EXPECT_TRUE(feeder.finished());
+  out.results = handler.results();
+  return out;
+}
+
+}  // namespace sjoin::test

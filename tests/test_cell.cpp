@@ -1,0 +1,129 @@
+// Tests for CellJoin: output equivalence with the Kang oracle across worker
+// counts, plus behaviour of the parallel-scan machinery.
+#include <gtest/gtest.h>
+
+#include "baseline/cell_join.hpp"
+#include "baseline/kang_join.hpp"
+
+#include "test_util.hpp"
+
+namespace sjoin {
+namespace {
+
+using test::KeyEq;
+using test::MakeRandomTrace;
+using test::SameResultSet;
+using test::TR;
+using test::TraceConfig;
+using test::TS;
+
+std::vector<ResultMsg<TR, TS>> RunCell(const DriverScript<TR, TS>& script,
+                                       int workers,
+                                       std::size_t min_parallel = 0) {
+  VectorSink<TR, TS> sink;
+  typename CellJoin<TR, TS, KeyEq>::Options options;
+  options.workers = workers;
+  options.min_parallel_scan = min_parallel;
+  CellJoin<TR, TS, KeyEq> join(&sink, KeyEq{}, options);
+  join.RunScript(script);
+  return sink.results();
+}
+
+class CellJoinWorkers : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellJoinWorkers, MatchesOracleOnRandomTraces) {
+  const int workers = GetParam();
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    TraceConfig config;
+    config.events = 300;
+    config.key_domain = 5;
+    auto trace = MakeRandomTrace(seed, config);
+    auto script = BuildDriverScript(trace, WindowSpec::Time(30),
+                                    WindowSpec::Time(30));
+    auto oracle = RunKangOracle<TR, TS, KeyEq>(script);
+    auto cell = RunCell(script, workers, /*min_parallel=*/0);
+    EXPECT_TRUE(SameResultSet(oracle, cell))
+        << "workers=" << workers << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerSweep, CellJoinWorkers,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(CellJoin, CountWindowsMatchOracle) {
+  TraceConfig config;
+  config.events = 250;
+  config.key_domain = 4;
+  auto trace = MakeRandomTrace(77, config);
+  auto script = BuildDriverScript(trace, WindowSpec::Count(20),
+                                  WindowSpec::Count(13));
+  auto oracle = RunKangOracle<TR, TS, KeyEq>(script);
+  auto cell = RunCell(script, 2, 0);
+  EXPECT_TRUE(SameResultSet(oracle, cell));
+}
+
+TEST(CellJoin, InlineThresholdSkipsParallelPath) {
+  TraceConfig config;
+  config.events = 100;
+  auto trace = MakeRandomTrace(5, config);
+  auto script = BuildDriverScript(trace, WindowSpec::Count(16),
+                                  WindowSpec::Count(16));
+  VectorSink<TR, TS> sink;
+  typename CellJoin<TR, TS, KeyEq>::Options options;
+  options.workers = 2;
+  options.min_parallel_scan = 1'000'000;  // never parallelize
+  CellJoin<TR, TS, KeyEq> join(&sink, KeyEq{}, options);
+  join.RunScript(script);
+  EXPECT_EQ(join.parallel_scans(), 0u);
+  EXPECT_TRUE(SameResultSet(RunKangOracle<TR, TS, KeyEq>(script),
+                            sink.results()));
+}
+
+TEST(CellJoin, ParallelPathActuallyRuns) {
+  TraceConfig config;
+  config.events = 400;
+  config.key_domain = 4;
+  auto trace = MakeRandomTrace(6, config);
+  auto script = BuildDriverScript(trace, WindowSpec::Count(64),
+                                  WindowSpec::Count(64));
+  VectorSink<TR, TS> sink;
+  typename CellJoin<TR, TS, KeyEq>::Options options;
+  options.workers = 2;
+  options.min_parallel_scan = 8;
+  CellJoin<TR, TS, KeyEq> join(&sink, KeyEq{}, options);
+  join.RunScript(script);
+  EXPECT_GT(join.parallel_scans(), 0u);
+  EXPECT_TRUE(SameResultSet(RunKangOracle<TR, TS, KeyEq>(script),
+                            sink.results()));
+}
+
+TEST(CellJoin, DestructionWithIdleWorkersIsClean) {
+  VectorSink<TR, TS> sink;
+  typename CellJoin<TR, TS, KeyEq>::Options options;
+  options.workers = 3;
+  {
+    CellJoin<TR, TS, KeyEq> join(&sink, KeyEq{}, options);
+    // No events at all; workers must shut down cleanly.
+  }
+  SUCCEED();
+}
+
+TEST(CellJoin, RepeatedConstructionStress) {
+  for (int i = 0; i < 10; ++i) {
+    VectorSink<TR, TS> sink;
+    typename CellJoin<TR, TS, KeyEq>::Options options;
+    options.workers = 2;
+    options.min_parallel_scan = 4;
+    CellJoin<TR, TS, KeyEq> join(&sink, KeyEq{}, options);
+    DriverEvent<TR, TS> e;
+    e.op = DriverOp::kArriveR;
+    e.seq = 0;
+    e.ts = 0;
+    e.r = TR{1, 1};
+    join.OnEvent(e);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sjoin

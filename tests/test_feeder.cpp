@@ -1,0 +1,220 @@
+// Tests for the driver-side feeder (batching, routing, backpressure) and
+// the workload sources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/schema.hpp"
+#include "stream/feeder.hpp"
+#include "stream/generator.hpp"
+#include "stream/source.hpp"
+
+#include "test_util.hpp"
+
+namespace sjoin {
+namespace {
+
+using test::TR;
+using test::TS;
+
+struct FeederHarness {
+  explicit FeederHarness(std::size_t capacity = 256)
+      : left(capacity), right(capacity) {}
+
+  PipelinePorts<TR, TS> ports() { return {&left, &right}; }
+
+  SpscQueue<FlowMsg<TR>> left;
+  SpscQueue<FlowMsg<TS>> right;
+};
+
+DriverScript<TR, TS> SmallScript(int pairs, bool flush = false) {
+  Trace<TR, TS> trace;
+  for (int i = 0; i < pairs; ++i) {
+    trace.push_back(ArriveR<TR, TS>(2 * i, TR{i, i}));
+    trace.push_back(ArriveS<TR, TS>(2 * i + 1, TS{i, i}));
+  }
+  return BuildDriverScript(trace, WindowSpec::Time(1000),
+                           WindowSpec::Time(1000), flush);
+}
+
+TEST(ScriptSource, ReplaysInOrder) {
+  auto script = SmallScript(3);
+  ScriptSource<TR, TS> source(&script);
+  DriverEvent<TR, TS> e;
+  std::size_t n = 0;
+  while (source.Next(&e)) ++n;
+  EXPECT_EQ(n, script.events.size());
+  EXPECT_FALSE(source.Next(&e));  // stays exhausted
+}
+
+TEST(Feeder, RoutesArrivalsToCorrectEnds) {
+  auto script = SmallScript(4);
+  FeederHarness h;
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options options;
+  options.batch_size = 1;
+  Feeder<TR, TS> feeder(h.ports(), &source, options);
+  while (!feeder.finished()) feeder.Step();
+
+  EXPECT_EQ(h.left.SizeApprox(), 4u);   // 4 R arrivals
+  EXPECT_EQ(h.right.SizeApprox(), 4u);  // 4 S arrivals
+  EXPECT_EQ(feeder.arrivals_pushed(StreamSide::kR), 4u);
+  EXPECT_EQ(feeder.arrivals_pushed(StreamSide::kS), 4u);
+
+  FlowMsg<TR> msg;
+  Seq expected = 0;
+  while (h.left.TryPop(&msg)) {
+    EXPECT_EQ(msg.kind, MsgKind::kArrival);
+    EXPECT_EQ(msg.seq, expected++);
+  }
+}
+
+TEST(Feeder, BatchingDelaysPushUntilBatchFull) {
+  auto script = SmallScript(8);  // 8 events per side
+  FeederHarness h;
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options options;
+  options.batch_size = 64;          // bigger than the script
+  options.max_events_per_step = 4;  // a few events per step
+  Feeder<TR, TS> feeder(h.ports(), &source, options);
+
+  feeder.Step();
+  EXPECT_EQ(h.left.SizeApprox(), 0u) << "batch must not flush early";
+
+  while (!feeder.finished()) feeder.Step();
+  EXPECT_EQ(h.left.SizeApprox(), 8u) << "exhaustion flushes the remainder";
+  EXPECT_EQ(h.right.SizeApprox(), 8u);
+}
+
+TEST(Feeder, BackpressureRetainsOverflow) {
+  auto script = SmallScript(40);
+  FeederHarness h(16);  // tiny channels
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options options;
+  options.batch_size = 1;
+  Feeder<TR, TS> feeder(h.ports(), &source, options);
+
+  for (int i = 0; i < 100; ++i) feeder.Step();
+  EXPECT_FALSE(feeder.finished());  // stuck behind full queues
+  EXPECT_EQ(h.left.SizeApprox(), 16u);
+
+  // Drain and let it finish.
+  FlowMsg<TR> r;
+  FlowMsg<TS> s;
+  while (!feeder.finished()) {
+    while (h.left.TryPop(&r)) {
+    }
+    while (h.right.TryPop(&s)) {
+    }
+    feeder.Step();
+  }
+  EXPECT_EQ(feeder.arrivals_pushed(StreamSide::kR), 40u);
+}
+
+TEST(Feeder, RequestStopFlushesPending) {
+  auto script = SmallScript(100);
+  FeederHarness h;
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options options;
+  options.batch_size = 64;
+  options.max_events_per_step = 3;
+  Feeder<TR, TS> feeder(h.ports(), &source, options);
+  feeder.Step();  // a few events into the pending batch
+  feeder.RequestStop();
+  for (int i = 0; i < 10 && !feeder.finished(); ++i) feeder.Step();
+  EXPECT_TRUE(feeder.finished());
+  EXPECT_GT(h.left.SizeApprox() + h.right.SizeApprox(), 0u);
+}
+
+TEST(Feeder, FlushMessagesRideTheFlows) {
+  auto script = SmallScript(1, /*flush=*/true);
+  FeederHarness h;
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options options;
+  options.batch_size = 1;
+  Feeder<TR, TS> feeder(h.ports(), &source, options);
+  while (!feeder.finished()) feeder.Step();
+
+  bool saw_flush_left = false;
+  FlowMsg<TR> r;
+  while (h.left.TryPop(&r)) saw_flush_left |= r.kind == MsgKind::kFlush;
+  bool saw_flush_right = false;
+  FlowMsg<TS> s;
+  while (h.right.TryPop(&s)) saw_flush_right |= s.kind == MsgKind::kFlush;
+  EXPECT_TRUE(saw_flush_left);
+  EXPECT_TRUE(saw_flush_right);
+}
+
+TEST(GeneratedSource, AlternatesSidesAndSpacesTimestamps) {
+  typename GeneratedSource<RTuple, STuple>::Options options;
+  options.period_us = 10;
+  options.max_arrivals = 6;
+  options.wr = WindowSpec::Count(100);
+  options.ws = WindowSpec::Count(100);
+  GeneratedSource<RTuple, STuple> source(
+      [](Rng& rng) { return MakeBandR(rng); },
+      [](Rng& rng) { return MakeBandS(rng); }, options);
+
+  std::vector<DriverEvent<RTuple, STuple>> events;
+  DriverEvent<RTuple, STuple> e;
+  while (source.Next(&e)) events.push_back(e);
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].op,
+              i % 2 == 0 ? DriverOp::kArriveR : DriverOp::kArriveS);
+    EXPECT_EQ(events[i].ts, static_cast<Timestamp>(i) * 10);
+  }
+}
+
+TEST(GeneratedSource, EmitsCountExpiries) {
+  typename GeneratedSource<RTuple, STuple>::Options options;
+  options.period_us = 1;
+  options.max_arrivals = 10;
+  options.wr = WindowSpec::Count(2);
+  options.ws = WindowSpec::Count(2);
+  GeneratedSource<RTuple, STuple> source(
+      [](Rng& rng) { return MakeBandR(rng); },
+      [](Rng& rng) { return MakeBandS(rng); }, options);
+
+  int arrivals = 0, expiries = 0;
+  DriverEvent<RTuple, STuple> e;
+  while (source.Next(&e)) {
+    if (IsArrival(e.op)) ++arrivals;
+    if (IsExpiry(e.op)) ++expiries;
+  }
+  EXPECT_EQ(arrivals, 10);
+  EXPECT_EQ(expiries, 6);  // each side: 5 arrivals, window 2 -> 3 expiries
+}
+
+TEST(GeneratedSource, EmitsTimeExpiries) {
+  typename GeneratedSource<RTuple, STuple>::Options options;
+  options.period_us = 10;
+  options.max_arrivals = 8;
+  options.wr = WindowSpec::Time(15);
+  options.ws = WindowSpec::Time(15);
+  GeneratedSource<RTuple, STuple> source(
+      [](Rng& rng) { return MakeBandR(rng); },
+      [](Rng& rng) { return MakeBandS(rng); }, options);
+
+  int expiries = 0;
+  DriverEvent<RTuple, STuple> e;
+  while (source.Next(&e)) expiries += IsExpiry(e.op) ? 1 : 0;
+  EXPECT_GT(expiries, 0);
+}
+
+TEST(Generator, BandTraceHasPaperShape) {
+  auto trace = MakeBandTrace(50, 3, /*seed=*/9);
+  ASSERT_EQ(trace.size(), 100u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].side,
+              i % 2 == 0 ? StreamSide::kR : StreamSide::kS);
+    EXPECT_EQ(trace[i].ts, static_cast<Timestamp>(i) * 3);
+    if (trace[i].side == StreamSide::kR) {
+      EXPECT_GE(trace[i].r.x, 1);
+      EXPECT_LE(trace[i].r.x, kPaperKeyDomain);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,208 @@
+// Tests for the punctuation machinery (paper Section 6): high-water marks,
+// the collector's read-marks-then-vacuum protocol, and the punctuation
+// invariant — no result emitted after <t_p> may carry a timestamp < t_p.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "llhj/llhj_pipeline.hpp"
+#include "stream/collector.hpp"
+#include "stream/hwm.hpp"
+
+#include "test_util.hpp"
+
+namespace sjoin {
+namespace {
+
+using test::KeyEq;
+using test::MakeRandomTrace;
+using test::TR;
+using test::TraceConfig;
+using test::TS;
+
+TEST(HighWaterMarks, StartsAtMinimum) {
+  HighWaterMarks hwm;
+  EXPECT_EQ(hwm.Get(StreamSide::kR), kMinTimestamp);
+  EXPECT_EQ(hwm.Get(StreamSide::kS), kMinTimestamp);
+  EXPECT_EQ(hwm.SafeMin(), kMinTimestamp);
+}
+
+TEST(HighWaterMarks, SafeMinIsMinimumOfSides) {
+  HighWaterMarks hwm;
+  hwm.Publish(StreamSide::kR, 100, 0);
+  EXPECT_EQ(hwm.SafeMin(), kMinTimestamp);  // S not seen yet
+  hwm.Publish(StreamSide::kS, 40, 0);
+  EXPECT_EQ(hwm.SafeMin(), 40);
+  hwm.Publish(StreamSide::kS, 120, 1);
+  EXPECT_EQ(hwm.SafeMin(), 100);
+}
+
+TEST(HighWaterMarks, CompletedSeqTracksFifoCompletion) {
+  HighWaterMarks hwm;
+  EXPECT_EQ(hwm.CompletedSeq(StreamSide::kR), -1);
+  EXPECT_EQ(hwm.CompletedSeq(StreamSide::kS), -1);
+  hwm.Publish(StreamSide::kR, 10, 0);
+  hwm.Publish(StreamSide::kR, 20, 1);
+  EXPECT_EQ(hwm.CompletedSeq(StreamSide::kR), 1);
+  EXPECT_EQ(hwm.CompletedSeq(StreamSide::kS), -1);
+  hwm.Publish(StreamSide::kS, 5, 7);
+  EXPECT_EQ(hwm.CompletedSeq(StreamSide::kS), 7);
+}
+
+/// An output handler that checks the punctuation guarantee on the fly.
+class PunctuationChecker : public OutputHandler<TR, TS> {
+ public:
+  void OnResult(const ResultMsg<TR, TS>& m) override {
+    results.push_back(m);
+    if (m.ts < last_punctuation) ++violations;
+  }
+  void OnPunctuation(Timestamp tp) override {
+    if (tp <= last_punctuation && last_punctuation != kMinTimestamp) {
+      ++non_monotonic;
+    }
+    last_punctuation = tp;
+    ++punctuations;
+  }
+
+  std::vector<ResultMsg<TR, TS>> results;
+  Timestamp last_punctuation = kMinTimestamp;
+  int violations = 0;
+  int non_monotonic = 0;
+  int punctuations = 0;
+};
+
+TEST(Collector, EmitsPunctuationsWithInvariant) {
+  TraceConfig config;
+  config.events = 300;
+  config.key_domain = 4;
+  config.max_gap_us = 5;
+  auto trace = MakeRandomTrace(17, config);
+  auto script = BuildDriverScript(trace, WindowSpec::Time(80),
+                                  WindowSpec::Time(80));
+
+  typename LlhjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 4;
+  options.channel_capacity = 64;
+  options.punctuate = true;
+  LlhjPipeline<TR, TS, KeyEq> pipeline(options);
+
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options fo;
+  fo.batch_size = 1;
+  fo.expiry_gate = &pipeline.hwm();
+  Feeder<TR, TS> feeder(pipeline.ports(), &source, fo);
+  PunctuationChecker checker;
+  auto collector = pipeline.MakeCollector(&checker);
+
+  SequentialExecutor exec;
+  exec.Add(&feeder);
+  for (auto* node : pipeline.nodes()) exec.Add(node);
+  exec.Add(collector.get());
+  exec.RunUntilQuiescent();
+
+  EXPECT_GT(checker.punctuations, 0);
+  EXPECT_EQ(checker.violations, 0)
+      << "results with ts below an already-emitted punctuation";
+  EXPECT_EQ(checker.non_monotonic, 0);
+  EXPECT_FALSE(checker.results.empty());
+}
+
+TEST(Collector, NoPunctuationsWhenDisabled) {
+  TraceConfig config;
+  config.events = 120;
+  auto trace = MakeRandomTrace(18, config);
+  auto script = BuildDriverScript(trace, WindowSpec::Time(50),
+                                  WindowSpec::Time(50));
+
+  typename LlhjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 3;
+  options.channel_capacity = 64;
+  options.punctuate = false;
+  LlhjPipeline<TR, TS, KeyEq> pipeline(options);
+
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options fo;
+  fo.batch_size = 1;
+  fo.expiry_gate = &pipeline.hwm();
+  Feeder<TR, TS> feeder(pipeline.ports(), &source, fo);
+  PunctuationChecker checker;
+  auto collector = pipeline.MakeCollector(&checker);
+
+  SequentialExecutor exec;
+  exec.Add(&feeder);
+  for (auto* node : pipeline.nodes()) exec.Add(node);
+  exec.Add(collector.get());
+  exec.RunUntilQuiescent();
+
+  EXPECT_EQ(checker.punctuations, 0);
+  EXPECT_EQ(collector->punctuations_emitted(), 0u);
+}
+
+TEST(Collector, PunctuationValueTracksSlowerStream) {
+  // R advances far ahead of S; punctuations must follow min(marks) = S.
+  Trace<TR, TS> trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(ArriveR<TR, TS>(i * 100, TR{1, i}));
+  }
+  trace.push_back(ArriveS<TR, TS>(950, TS{1, 50}));
+  auto script = BuildDriverScript(trace, WindowSpec::Time(10'000),
+                                  WindowSpec::Time(10'000), false);
+
+  typename LlhjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 2;
+  options.channel_capacity = 64;
+  options.punctuate = true;
+  LlhjPipeline<TR, TS, KeyEq> pipeline(options);
+
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options fo;
+  fo.batch_size = 1;
+  fo.expiry_gate = &pipeline.hwm();
+  Feeder<TR, TS> feeder(pipeline.ports(), &source, fo);
+  PunctuationChecker checker;
+  auto collector = pipeline.MakeCollector(&checker);
+
+  SequentialExecutor exec;
+  exec.Add(&feeder);
+  for (auto* node : pipeline.nodes()) exec.Add(node);
+  exec.Add(collector.get());
+  exec.RunUntilQuiescent();
+
+  // R's last completed timestamp is 900, S's is 950; the safe punctuation
+  // is the minimum of the two marks.
+  EXPECT_EQ(checker.last_punctuation, 900);
+  EXPECT_EQ(collector->last_punctuation(), 900);
+}
+
+TEST(Collector, TotalCollectedCounts) {
+  Trace<TR, TS> trace;
+  trace.push_back(ArriveR<TR, TS>(0, TR{1, 0}));
+  trace.push_back(ArriveS<TR, TS>(1, TS{1, 1}));
+  auto script = BuildDriverScript(trace, WindowSpec::Time(10),
+                                  WindowSpec::Time(10));
+
+  typename LlhjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 2;
+  options.channel_capacity = 64;
+  LlhjPipeline<TR, TS, KeyEq> pipeline(options);
+
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options fo;
+  fo.batch_size = 1;
+  fo.expiry_gate = &pipeline.hwm();
+  Feeder<TR, TS> feeder(pipeline.ports(), &source, fo);
+  CollectingHandler<TR, TS> handler;
+  auto collector = pipeline.MakeCollector(&handler);
+
+  SequentialExecutor exec;
+  exec.Add(&feeder);
+  for (auto* node : pipeline.nodes()) exec.Add(node);
+  exec.Add(collector.get());
+  exec.RunUntilQuiescent();
+
+  EXPECT_EQ(collector->total_collected(), 1u);
+  EXPECT_EQ(handler.results().size(), 1u);
+}
+
+}  // namespace
+}  // namespace sjoin

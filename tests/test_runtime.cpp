@@ -1,0 +1,157 @@
+// Tests for topology, affinity, backoff, and the two executors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/affinity.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/topology.hpp"
+
+namespace sjoin {
+namespace {
+
+TEST(Topology, DetectFindsAtLeastOneCpu) {
+  Topology topo = Topology::Detect();
+  EXPECT_GE(topo.cpu_count(), 1);
+}
+
+TEST(Topology, SyntheticEnumerates) {
+  Topology topo = Topology::Synthetic(4);
+  EXPECT_EQ(topo.cpu_count(), 4);
+  EXPECT_EQ(topo.cpus().size(), 4u);
+}
+
+TEST(Topology, RoundRobinPlacement) {
+  Topology topo = Topology::Synthetic(2);
+  EXPECT_EQ(topo.CpuForNode(0, 6), 0);
+  EXPECT_EQ(topo.CpuForNode(1, 6), 1);
+  EXPECT_EQ(topo.CpuForNode(2, 6), 0);  // wraps
+  EXPECT_EQ(topo.CpuForNode(5, 6), 1);
+}
+
+TEST(Topology, NegativeNodeIsInvalid) {
+  Topology topo = Topology::Synthetic(2);
+  EXPECT_EQ(topo.CpuForNode(-1, 4), -1);
+}
+
+TEST(Affinity, AvailableCpuCountPositive) {
+  EXPECT_GE(AvailableCpuCount(), 1);
+}
+
+TEST(Affinity, PinToFirstCpuSucceedsOnLinux) {
+#if defined(__linux__)
+  Topology topo = Topology::Detect();
+  EXPECT_TRUE(PinThisThread(topo.cpus().front()));
+#else
+  GTEST_SKIP();
+#endif
+}
+
+TEST(Affinity, PinToInvalidCpuFails) { EXPECT_FALSE(PinThisThread(-1)); }
+
+TEST(Backoff, EscalatesAndResets) {
+  Backoff b;
+  EXPECT_EQ(b.attempts(), 0);
+  for (int i = 0; i < 20; ++i) b.Pause();
+  EXPECT_EQ(b.attempts(), 20);
+  b.Reset();
+  EXPECT_EQ(b.attempts(), 0);
+}
+
+class CountingSteppable : public Steppable {
+ public:
+  explicit CountingSteppable(int budget) : budget_(budget) {}
+  bool Step() override {
+    if (budget_ <= 0) return false;
+    --budget_;
+    ++steps_;
+    return true;
+  }
+  int steps() const { return steps_; }
+
+ private:
+  int budget_;
+  int steps_ = 0;
+};
+
+TEST(SequentialExecutor, RunsUntilQuiescent) {
+  CountingSteppable a(5), b(3);
+  SequentialExecutor exec;
+  exec.Add(&a);
+  exec.Add(&b);
+  const std::size_t passes = exec.RunUntilQuiescent();
+  EXPECT_EQ(a.steps(), 5);
+  EXPECT_EQ(b.steps(), 3);
+  EXPECT_EQ(passes, 5u);  // passes 0..4 progress; pass 5 is silent
+}
+
+TEST(SequentialExecutor, StepOnceReportsProgress) {
+  CountingSteppable a(1);
+  SequentialExecutor exec;
+  exec.Add(&a);
+  EXPECT_TRUE(exec.StepOnce());
+  EXPECT_FALSE(exec.StepOnce());
+}
+
+TEST(SequentialExecutor, HonorsPassLimit) {
+  class Endless : public Steppable {
+   public:
+    bool Step() override { return true; }
+  } endless;
+  SequentialExecutor exec;
+  exec.Add(&endless);
+  EXPECT_EQ(exec.RunUntilQuiescent(100), 100u);
+}
+
+class AtomicCounterSteppable : public Steppable {
+ public:
+  bool Step() override {
+    count.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  std::atomic<uint64_t> count{0};
+};
+
+TEST(ThreadedExecutor, StartsAndStops) {
+  AtomicCounterSteppable a, b;
+  ThreadedExecutor exec(Topology::Detect());
+  exec.Add(&a);
+  exec.Add(&b);
+  exec.Start();
+  EXPECT_TRUE(exec.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  exec.Stop();
+  EXPECT_FALSE(exec.running());
+  EXPECT_GT(a.count.load(), 0u);
+  EXPECT_GT(b.count.load(), 0u);
+}
+
+TEST(ThreadedExecutor, StopIsIdempotent) {
+  AtomicCounterSteppable a;
+  ThreadedExecutor exec;
+  exec.Add(&a);
+  exec.Start();
+  exec.Stop();
+  exec.Stop();  // no crash
+  EXPECT_FALSE(exec.running());
+}
+
+TEST(ThreadedExecutor, IdleSteppableBacksOffWithoutSpinningHot) {
+  // A steppable that never has work must not prevent Stop().
+  class Idle : public Steppable {
+   public:
+    bool Step() override { return false; }
+  } idle;
+  ThreadedExecutor exec;
+  exec.Add(&idle);
+  exec.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  exec.Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,104 @@
+// Tests for the statistics substrate (Welford moments, time-bucketed
+// series) used by the latency experiments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stream/stats.hpp"
+
+namespace sjoin {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat s;
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    a.Add(x);
+    all.Add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = i * 0.37;
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStat b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(TimeSeriesStat, BucketsByInterval) {
+  TimeSeriesStat series(1000);  // 1 us buckets
+  series.Anchor(0);
+  series.Add(0, 1.0);
+  series.Add(999, 3.0);
+  series.Add(1000, 5.0);
+  series.Add(2500, 7.0);
+  ASSERT_EQ(series.buckets().size(), 3u);
+  EXPECT_EQ(series.buckets()[0].count(), 2u);
+  EXPECT_DOUBLE_EQ(series.buckets()[0].mean(), 2.0);
+  EXPECT_EQ(series.buckets()[1].count(), 1u);
+  EXPECT_EQ(series.buckets()[2].count(), 1u);
+}
+
+TEST(TimeSeriesStat, AutoAnchorsOnFirstAdd) {
+  TimeSeriesStat series(1000);
+  series.Add(5000, 1.0);
+  series.Add(5999, 2.0);
+  ASSERT_EQ(series.buckets().size(), 1u);
+  EXPECT_EQ(series.buckets()[0].count(), 2u);
+}
+
+TEST(TimeSeriesStat, ValuesBeforeAnchorClampToBucketZero) {
+  TimeSeriesStat series(1000);
+  series.Anchor(10'000);
+  series.Add(9'500, 1.0);  // slightly before anchor
+  ASSERT_EQ(series.buckets().size(), 1u);
+  EXPECT_EQ(series.buckets()[0].count(), 1u);
+}
+
+}  // namespace
+}  // namespace sjoin

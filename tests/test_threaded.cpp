@@ -1,0 +1,190 @@
+// Integration tests with real threads: full pipelines (feeder, pinned node
+// threads, collector) must produce exactly the oracle result set, under
+// regular and tiny channel capacities, with punctuation invariants holding
+// live.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "baseline/kang_join.hpp"
+#include "hsj/hsj_pipeline.hpp"
+#include "llhj/llhj_pipeline.hpp"
+#include "runtime/executor.hpp"
+#include "stream/feeder.hpp"
+
+#include "test_util.hpp"
+
+namespace sjoin {
+namespace {
+
+using test::KeyEq;
+using test::MakeRandomTrace;
+using test::SameResultSet;
+using test::TR;
+using test::TraceConfig;
+using test::TS;
+
+/// Runs a pipeline threaded until the feeder finishes and the system
+/// quiesces; results are delivered to `handler`.
+template <typename Pipeline>
+void RunThreaded(Pipeline& pipeline, const DriverScript<TR, TS>& script,
+                 int batch, OutputHandler<TR, TS>* handler,
+                 const HighWaterMarks* expiry_gate = nullptr) {
+  ScriptSource<TR, TS> source(&script);
+  typename Feeder<TR, TS>::Options fo;
+  fo.batch_size = batch;
+  fo.expiry_gate = expiry_gate;
+  Feeder<TR, TS> feeder(pipeline.ports(), &source, fo);
+  auto collector = pipeline.MakeCollector(handler);
+
+  ThreadedExecutor exec;
+  exec.Add(&feeder);
+  for (auto* node : pipeline.nodes()) exec.Add(node);
+  exec.Add(collector.get());
+  exec.Start();
+
+  // Wait for the feeder, then for distributed quiescence.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!feeder.finished()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "feeder stuck";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  uint64_t last = 0;
+  int stable = 0;
+  while (stable < 10) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "no quiescence";
+    const uint64_t processed = pipeline.TotalProcessed();
+    const std::size_t backlog = pipeline.ApproxBacklog();
+    if (processed == last && backlog == 0) {
+      ++stable;
+    } else {
+      stable = 0;
+      last = processed;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  exec.Stop();
+  collector->VacuumOnce();  // final sweep after nodes stopped
+
+  EXPECT_EQ(pipeline.total_anomalies(), 0u);
+}
+
+DriverScript<TR, TS> ThreadedScript(uint64_t seed, bool count_windows) {
+  TraceConfig config;
+  config.events = 2000;
+  config.key_domain = 12;
+  config.max_gap_us = 2;
+  auto trace = MakeRandomTrace(seed, config);
+  if (count_windows) {
+    return BuildDriverScript(trace, WindowSpec::Count(220),
+                             WindowSpec::Count(180));
+  }
+  return BuildDriverScript(trace, WindowSpec::Time(500),
+                           WindowSpec::Time(500));
+}
+
+TEST(ThreadedLlhj, ExactOracleEquality) {
+  for (uint64_t seed : {1u, 2u}) {
+    auto script = ThreadedScript(seed, false);
+    auto oracle = RunKangOracle<TR, TS, KeyEq>(script);
+
+    typename LlhjPipeline<TR, TS, KeyEq>::Options options;
+    options.nodes = 4;
+    LlhjPipeline<TR, TS, KeyEq> pipeline(options);
+    CollectingHandler<TR, TS> handler;
+    RunThreaded(pipeline, script, /*batch=*/8, &handler, &pipeline.hwm());
+    EXPECT_TRUE(SameResultSet(oracle, handler.results())) << "seed " << seed;
+  }
+}
+
+TEST(ThreadedLlhj, CountWindowsAndBatch64) {
+  auto script = ThreadedScript(3, true);
+  auto oracle = RunKangOracle<TR, TS, KeyEq>(script);
+
+  typename LlhjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 5;
+  LlhjPipeline<TR, TS, KeyEq> pipeline(options);
+  CollectingHandler<TR, TS> handler;
+  RunThreaded(pipeline, script, /*batch=*/64, &handler, &pipeline.hwm());
+  EXPECT_TRUE(SameResultSet(oracle, handler.results()));
+}
+
+TEST(ThreadedLlhj, TinyChannelsExerciseBackpressure) {
+  auto script = ThreadedScript(4, true);
+  auto oracle = RunKangOracle<TR, TS, KeyEq>(script);
+
+  typename LlhjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 4;
+  options.channel_capacity = 16;
+  options.result_capacity = 64;  // forces result staging too
+  LlhjPipeline<TR, TS, KeyEq> pipeline(options);
+  CollectingHandler<TR, TS> handler;
+  RunThreaded(pipeline, script, /*batch=*/8, &handler, &pipeline.hwm());
+  EXPECT_TRUE(SameResultSet(oracle, handler.results()));
+}
+
+TEST(ThreadedHsj, ExactOracleEquality) {
+  auto script = ThreadedScript(5, true);
+  auto oracle = RunKangOracle<TR, TS, KeyEq>(script);
+
+  typename HsjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 4;  // self-balancing segments (default)
+  // Bounded-lag regime: channels far smaller than the window so the driver
+  // cannot run a window ahead of the pipeline (DESIGN.md).
+  options.channel_capacity = 16;
+  HsjPipeline<TR, TS, KeyEq> pipeline(options);
+  CollectingHandler<TR, TS> handler;
+  RunThreaded(pipeline, script, /*batch=*/8, &handler);
+  EXPECT_TRUE(SameResultSet(oracle, handler.results()));
+}
+
+TEST(ThreadedHsj, TimeWindowsWithRelocationPressure) {
+  auto script = ThreadedScript(6, false);
+  auto oracle = RunKangOracle<TR, TS, KeyEq>(script);
+
+  typename HsjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 3;                // self-balancing segments (default)
+  options.channel_capacity = 16;    // bounded-lag regime
+  HsjPipeline<TR, TS, KeyEq> pipeline(options);
+  CollectingHandler<TR, TS> handler;
+  RunThreaded(pipeline, script, /*batch=*/16, &handler);
+  EXPECT_TRUE(SameResultSet(oracle, handler.results()));
+}
+
+/// Punctuation invariant checked live under threads.
+class LivePunctuationChecker : public OutputHandler<TR, TS> {
+ public:
+  void OnResult(const ResultMsg<TR, TS>& m) override {
+    if (m.ts < last_tp_) violations_.fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnPunctuation(Timestamp tp) override { last_tp_ = tp; }
+
+  uint64_t violations() const { return violations_.load(); }
+  uint64_t count() const { return count_.load(); }
+
+ private:
+  Timestamp last_tp_ = kMinTimestamp;
+  std::atomic<uint64_t> violations_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+TEST(ThreadedLlhj, PunctuationInvariantHoldsLive) {
+  auto script = ThreadedScript(7, false);
+
+  typename LlhjPipeline<TR, TS, KeyEq>::Options options;
+  options.nodes = 4;
+  options.punctuate = true;
+  LlhjPipeline<TR, TS, KeyEq> pipeline(options);
+  LivePunctuationChecker checker;
+  RunThreaded(pipeline, script, /*batch=*/8, &checker, &pipeline.hwm());
+
+  EXPECT_GT(checker.count(), 0u);
+  EXPECT_EQ(checker.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace sjoin
