@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   std::printf("%8s  %18s  %14s  %14s  %14s\n", "batch", "batch fill (ms)",
               "avg (ms)", "max (ms)", "results");
 
+  JsonEmitter json(flags, "ablation_batch");
   for (int batch : {4, 16, 64, 256}) {
     Workload workload;
     workload.wr = WindowSpec::Time(static_cast<int64_t>(window_s * 1e6));
@@ -35,6 +36,13 @@ int main(int argc, char** argv) {
                 batch / (2.0 * rate) * 1e3, stats.latency_ms.mean(),
                 stats.latency_ms.max(),
                 static_cast<unsigned long long>(stats.results));
+    JsonRow row;
+    row.Int("batch", batch)
+        .Num("window_s", window_s)
+        .Num("rate_per_stream", rate)
+        .Int("nodes", nodes)
+        .Num("batch_fill_ms", batch / (2.0 * rate) * 1e3);
+    json.Emit(StatsFields(row, stats));
   }
   std::printf("\nexpected: avg latency roughly proportional to batch size "
               "(half the fill interval plus pipeline costs).\n");

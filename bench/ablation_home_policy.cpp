@@ -65,10 +65,19 @@ int main(int argc, char** argv) {
   } policies[] = {{HomePolicy::kRoundRobin, "round-robin"},
                   {HomePolicy::kBlock, "block"},
                   {HomePolicy::kHash, "hash"}};
+  JsonEmitter json(flags, "ablation_home_policy");
   for (const auto& p : policies) {
     PolicyResult r = RunPolicy(p.policy, nodes, window, batch, duration);
     std::printf("%-12s  %16.0f  %14zu  %14zu\n", p.name, r.throughput,
                 r.min_store, r.max_store);
+    json.Emit(JsonRow()
+                  .Str("policy", p.name)
+                  .Int("nodes", nodes)
+                  .Int("window_tuples", window)
+                  .Int("batch", batch)
+                  .Num("tput_per_stream", r.throughput)
+                  .Int("min_store", static_cast<int64_t>(r.min_store))
+                  .Int("max_store", static_cast<int64_t>(r.max_store)));
   }
   std::printf("\nexpected: round-robin keeps stores near-perfectly "
               "balanced; block is balanced at window scale; hash is "

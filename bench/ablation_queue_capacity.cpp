@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(window), batch);
   std::printf("%10s  %16s  %14s\n", "capacity", "tput (t/s)", "results");
 
+  JsonEmitter json(flags, "ablation_queue_capacity");
   for (std::size_t capacity : {16u, 64u, 256u, 1024u, 4096u}) {
     Workload workload;
     workload.wr = WindowSpec::Count(window);
@@ -37,6 +38,13 @@ int main(int argc, char** argv) {
     std::printf("%10zu  %16.0f  %14llu\n", capacity,
                 stats.throughput_per_stream(),
                 static_cast<unsigned long long>(stats.results));
+    json.Emit(JsonRow()
+                  .Int("channel_capacity", static_cast<int64_t>(capacity))
+                  .Int("nodes", nodes)
+                  .Int("window_tuples", window)
+                  .Int("batch", batch)
+                  .Num("tput_per_stream", stats.throughput_per_stream())
+                  .Int("results", static_cast<int64_t>(stats.results)));
   }
   std::printf("\nexpected: flat beyond ~batch size; small capacities cost "
               "throughput through backpressure stalls.\n");

@@ -229,6 +229,91 @@ inline RunStats RunLlhjBench(int nodes, const Workload& workload, int batch,
   return RunPipelineBench(pipeline, workload, batch, duration_s, sort_output);
 }
 
+/// One flat JSON object, assembled field by field. Values are numbers or
+/// strings; keys are emitted in insertion order.
+class JsonRow {
+ public:
+  JsonRow& Num(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return Raw(key, buf);
+  }
+  JsonRow& Int(const char* key, int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return Raw(key, buf);
+  }
+  JsonRow& Str(const char* key, const std::string& v) {
+    std::string escaped;
+    escaped.reserve(v.size() + 2);
+    escaped += '"';
+    for (char c : v) {
+      switch (c) {
+        case '"': escaped += "\\\""; break;
+        case '\\': escaped += "\\\\"; break;
+        case '\n': escaped += "\\n"; break;
+        case '\t': escaped += "\\t"; break;
+        default: escaped += c;
+      }
+    }
+    escaped += '"';
+    return Raw(key, escaped);
+  }
+
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonRow& Raw(const char* key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += std::string("\"") + key + "\":" + value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Machine-readable results channel shared by every bench binary: each
+/// measured configuration is emitted as one JSON line, prefixed "JSON " on
+/// stdout (greppable next to the human tables) and appended verbatim to
+/// --json_out=PATH when given — the format of the repo's BENCH_*.json
+/// trajectory files.
+class JsonEmitter {
+ public:
+  JsonEmitter(const Flags& flags, const std::string& bench)
+      : bench_(bench), path_(flags.Str("json_out", "")) {}
+
+  void Emit(const JsonRow& row) {
+    const std::string body = row.Render();
+    const std::string line =
+        body == "{}" ? "{\"bench\":\"" + bench_ + "\"}"
+                     : "{\"bench\":\"" + bench_ + "\"," + body.substr(1);
+    std::printf("JSON %s\n", line.c_str());
+    if (!path_.empty()) {
+      std::FILE* f = std::fopen(path_.c_str(), "a");
+      if (f != nullptr) {
+        std::fprintf(f, "%s\n", line.c_str());
+        std::fclose(f);
+      }
+    }
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+};
+
+/// Standard latency/throughput fields of a RunStats, for JSON rows.
+inline JsonRow& StatsFields(JsonRow& row, const RunStats& stats) {
+  row.Num("wall_s", stats.wall_seconds)
+      .Num("tput_per_stream", stats.throughput_per_stream())
+      .Num("latency_avg_ms", stats.latency_ms.mean())
+      .Num("latency_max_ms", stats.latency_ms.max())
+      .Num("latency_stddev_ms", stats.latency_ms.stddev())
+      .Int("results", static_cast<int64_t>(stats.results))
+      .Int("punctuations", static_cast<int64_t>(stats.punctuations))
+      .Int("anomalies", static_cast<int64_t>(stats.anomalies));
+  return row;
+}
+
 /// Derives the expected live-window size in tuples for a time window.
 inline int64_t WindowTuples(const WindowSpec& spec, double rate_per_stream) {
   if (spec.is_count()) return spec.size;

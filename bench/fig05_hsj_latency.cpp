@@ -17,7 +17,8 @@ using namespace sjoin::bench;
 namespace {
 
 void RunConfig(const char* label, double wr_s, double ws_s, double rate,
-               int nodes, int batch, double duration_s, uint64_t seed) {
+               int nodes, int batch, double duration_s, uint64_t seed,
+               JsonEmitter* json) {
   Workload workload;
   workload.wr = WindowSpec::Time(static_cast<int64_t>(wr_s * 1e6));
   workload.ws = WindowSpec::Time(static_cast<int64_t>(ws_s * 1e6));
@@ -50,6 +51,15 @@ void RunConfig(const char* label, double wr_s, double ws_s, double rate,
   std::printf("measured max / model bound = %.2f (expect <= ~1, approaching "
               "1 once windows are full)\n",
               stats.latency_ms.max() / (bound_s * 1e3));
+  JsonRow row;
+  row.Str("config", label)
+      .Num("wr_s", wr_s)
+      .Num("ws_s", ws_s)
+      .Num("rate_per_stream", rate)
+      .Int("nodes", nodes)
+      .Int("batch", batch)
+      .Num("model_bound_ms", bound_s * 1e3);
+  json->Emit(StatsFields(row, stats));
 }
 
 }  // namespace
@@ -69,7 +79,10 @@ int main(int argc, char** argv) {
               "run 500 s -> %.0f s\n",
               window_s, window_s / 2, duration);
 
-  RunConfig("a", window_s, window_s, rate, nodes, batch, duration, seed);
-  RunConfig("b", window_s / 2, window_s, rate, nodes, batch, duration, seed);
+  JsonEmitter json(flags, "fig05_hsj_latency");
+  RunConfig("a", window_s, window_s, rate, nodes, batch, duration, seed,
+            &json);
+  RunConfig("b", window_s / 2, window_s, rate, nodes, batch, duration, seed,
+            &json);
   return 0;
 }

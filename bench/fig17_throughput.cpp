@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  JsonEmitter json(flags, "fig17_throughput");
   PrintHeader("fig17_throughput — throughput/stream vs processing cores",
               "Figure 17");
   std::printf("scaling: paper window 15 min @ ~3-4k tuples/s (~3M tuples) -> "
@@ -55,6 +56,19 @@ int main(int argc, char** argv) {
     std::printf("%6d  %18.0f  %18.0f  %18.0f\n", nodes,
                 hsj.throughput_per_stream(), llhj.throughput_per_stream(),
                 punct.throughput_per_stream());
+    json.Emit(JsonRow()
+                  .Int("nodes", nodes)
+                  .Int("window_tuples", window)
+                  .Int("batch", batch)
+                  .Num("duration_s", duration)
+                  .Num("hsj_tput", hsj.throughput_per_stream())
+                  .Num("llhj_tput", llhj.throughput_per_stream())
+                  .Num("llhj_punct_tput", punct.throughput_per_stream())
+                  .Num("llhj_latency_avg_ms", llhj.latency_ms.mean())
+                  .Num("llhj_latency_max_ms", llhj.latency_ms.max())
+                  .Int("anomalies", static_cast<int64_t>(
+                                        hsj.anomalies + llhj.anomalies +
+                                        punct.anomalies)));
     if (hsj.anomalies + llhj.anomalies + punct.anomalies > 0) {
       std::printf("  WARNING: anomalies hsj=%llu llhj=%llu punct=%llu\n",
                   static_cast<unsigned long long>(hsj.anomalies),

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  JsonEmitter json(flags, "fig18_latency_vs_cores");
   PrintHeader("fig18_latency_vs_cores — avg latency, HSJ vs LLHJ",
               "Figure 18 (15 min window in the paper, scaled here)");
   std::printf("scaling: paper window 15 min -> %.0f s; rate %.0f "
@@ -55,6 +56,14 @@ int main(int argc, char** argv) {
                              : 0.0;
     std::printf("%6d  %22.2f  %22.3f  %11.0fx\n", nodes,
                 hsj.latency_ms.mean(), llhj.latency_ms.mean(), ratio);
+    json.Emit(JsonRow()
+                  .Int("nodes", nodes)
+                  .Num("window_s", window_s)
+                  .Num("rate_per_stream", rate)
+                  .Int("batch", batch)
+                  .Num("hsj_latency_avg_ms", hsj.latency_ms.mean())
+                  .Num("llhj_latency_avg_ms", llhj.latency_ms.mean())
+                  .Num("hsj_over_llhj", ratio));
   }
   std::printf("\nexpected shape: handshake join sits at window scale "
               "(~%.0f ms avg, insensitive to cores); llhj sits at batch "

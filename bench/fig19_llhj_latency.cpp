@@ -16,7 +16,8 @@ using namespace sjoin::bench;
 namespace {
 
 void RunConfig(const char* label, double wr_s, double ws_s, double rate,
-               int nodes, int batch, double duration_s, uint64_t seed) {
+               int nodes, int batch, double duration_s, uint64_t seed,
+               JsonEmitter* json) {
   Workload workload;
   workload.wr = WindowSpec::Time(static_cast<int64_t>(wr_s * 1e6));
   workload.ws = WindowSpec::Time(static_cast<int64_t>(ws_s * 1e6));
@@ -36,6 +37,14 @@ void RunConfig(const char* label, double wr_s, double ws_s, double rate,
               stats.latency_ms.mean(), stats.latency_ms.max(),
               stats.latency_ms.stddev(),
               static_cast<unsigned long long>(stats.results));
+  JsonRow row;
+  row.Str("config", label)
+      .Num("wr_s", wr_s)
+      .Num("ws_s", ws_s)
+      .Num("rate_per_stream", rate)
+      .Int("nodes", nodes)
+      .Int("batch", batch);
+  json->Emit(StatsFields(row, stats));
 }
 
 }  // namespace
@@ -55,7 +64,10 @@ int main(int argc, char** argv) {
               "(latency should be window-insensitive either way)\n",
               window_s, window_s / 2);
 
-  RunConfig("a", window_s, window_s, rate, nodes, batch, duration, seed);
-  RunConfig("b", window_s / 2, window_s, rate, nodes, batch, duration, seed);
+  JsonEmitter json(flags, "fig19_llhj_latency");
+  RunConfig("a", window_s, window_s, rate, nodes, batch, duration, seed,
+            &json);
+  RunConfig("b", window_s / 2, window_s, rate, nodes, batch, duration, seed,
+            &json);
   return 0;
 }

@@ -40,5 +40,12 @@ int main(int argc, char** argv) {
               stats.latency_ms.mean(), stats.latency_ms.max(),
               stats.latency_ms.stddev(),
               static_cast<unsigned long long>(stats.results));
+  JsonEmitter json(flags, "fig20_llhj_batch4");
+  JsonRow row;
+  row.Num("window_s", window_s)
+      .Num("rate_per_stream", rate)
+      .Int("nodes", nodes)
+      .Int("batch", batch);
+  json.Emit(StatsFields(row, stats));
   return 0;
 }

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  JsonEmitter json(flags, "fig21_sorter_buffer");
   PrintHeader("fig21_sorter_buffer — max sort buffer with punctuations",
               "Figure 21");
   std::printf("windows %.0f s, rate %.0f tuples/s/stream, batch %d\n",
@@ -52,6 +53,16 @@ int main(int argc, char** argv) {
                 stats.max_sorter_buffer,
                 static_cast<unsigned long long>(stats.results),
                 static_cast<unsigned long long>(stats.punctuations));
+    json.Emit(JsonRow()
+                  .Int("nodes", nodes)
+                  .Num("window_s", window_s)
+                  .Num("rate_per_stream", rate)
+                  .Int("batch", batch)
+                  .Int("max_sorter_buffer",
+                       static_cast<int64_t>(stats.max_sorter_buffer))
+                  .Int("results", static_cast<int64_t>(stats.results))
+                  .Int("punctuations",
+                       static_cast<int64_t>(stats.punctuations)));
     output_rate = stats.results / stats.wall_seconds;
   }
 

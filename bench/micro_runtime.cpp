@@ -3,10 +3,13 @@
 // window scans, hash-index probes, and store maintenance.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/schema.hpp"
+#include "common/seq_ring.hpp"
 #include "llhj/store.hpp"
 #include "runtime/spsc_queue.hpp"
 #include "stream/generator.hpp"
@@ -56,6 +59,107 @@ void BM_SpscCrossThreadHop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpscCrossThreadHop);
+
+// -- SPSC transfer: single-message vs burst mode. ----------------------------
+//
+// The pair below is the referee for the burst-transport change: the same
+// number of messages moved through the channel one at a time (TryPush +
+// Front/PopFront — an acquire/release pair per element, the seed's node hot
+// path) versus in bursts (TryPushBurst + PeekBurst/ConsumeBurst — one index
+// update per run). Same-thread so the comparison measures the queue-op cost
+// itself and is meaningful on single-core CI hosts too. Compare
+// items_per_second: burst mode must stay >= 2x single mode.
+
+void BM_SpscTransferSingle(benchmark::State& state) {
+  constexpr std::size_t kBatch = 64;
+  SpscQueue<FlowMsg<RTuple>> queue(1024);
+  FlowMsg<RTuple> msg;
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) queue.TryPush(msg);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      acc += queue.Front()->seq;
+      queue.PopFront();
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SpscTransferSingle);
+
+void BM_SpscTransferBurst(benchmark::State& state) {
+  const std::size_t burst = static_cast<std::size_t>(state.range(0));
+  SpscQueue<FlowMsg<RTuple>> queue(1024);
+  std::vector<FlowMsg<RTuple>> batch(burst);
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    queue.TryPushBurst(batch.data(), burst);
+    FlowMsg<RTuple>* first = nullptr;
+    std::size_t n;
+    while ((n = queue.PeekBurst(&first)) != 0) {
+      for (std::size_t i = 0; i < n; ++i) acc += first[i].seq;
+      queue.ConsumeBurst(n);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(burst));
+}
+BENCHMARK(BM_SpscTransferBurst)->Arg(16)->Arg(64)->Arg(256);
+
+// Cross-thread variants of the same pair. On a multicore host these show
+// the cache-line ping-pong amortization too; on a single-core host both
+// are timeslice-bound and converge.
+
+void BM_SpscCrossThreadTransferSingle(benchmark::State& state) {
+  SpscQueue<FlowMsg<RTuple>> queue(1024);
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    FlowMsg<RTuple> msg;
+    while (!stop.load(std::memory_order_relaxed)) {
+      queue.TryPush(msg);
+    }
+  });
+  FlowMsg<RTuple> out;
+  uint64_t items = 0;
+  for (auto _ : state) {
+    while (!queue.TryPop(&out)) {
+    }
+    ++items;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  producer.join();
+  state.SetItemsProcessed(static_cast<int64_t>(items));
+}
+BENCHMARK(BM_SpscCrossThreadTransferSingle);
+
+void BM_SpscCrossThreadTransferBurst(benchmark::State& state) {
+  const std::size_t burst = static_cast<std::size_t>(state.range(0));
+  SpscQueue<FlowMsg<RTuple>> queue(1024);
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    std::vector<FlowMsg<RTuple>> batch(burst);
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::size_t pushed = 0;
+      while (pushed < burst && !stop.load(std::memory_order_relaxed)) {
+        pushed += queue.TryPushBurst(batch.data() + pushed, burst - pushed);
+      }
+    }
+  });
+  uint64_t items = 0;
+  for (auto _ : state) {
+    FlowMsg<RTuple>* first = nullptr;
+    std::size_t n;
+    while ((n = queue.PeekBurst(&first)) == 0) {
+    }
+    benchmark::DoNotOptimize(first);
+    queue.ConsumeBurst(n);
+    items += n;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  producer.join();
+  state.SetItemsProcessed(static_cast<int64_t>(items));
+}
+BENCHMARK(BM_SpscCrossThreadTransferBurst)->Arg(64);
 
 void BM_WindowScanBand(benchmark::State& state) {
   const int64_t window = state.range(0);
@@ -130,6 +234,68 @@ void BM_HashStoreInsertEraseCycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HashStoreInsertEraseCycle);
+
+// Steady-state LLHJ home-node maintenance: each cycle is one arrival
+// (insert expedited), one expedition-end (clear, `lag` entries behind the
+// newest — the pipeline-transit lag), and one window expiry (erase oldest).
+// The seed ClearExpedited walked the whole cleared prefix (O(window)); the
+// ring store walks only the expedited suffix (O(lag)), so this bench should
+// be window-size-insensitive.
+void BM_VectorStoreExpeditionCycle(benchmark::State& state) {
+  const int64_t window = state.range(0);
+  constexpr Seq kLag = 16;
+  Rng rng(1);
+  VectorStore<STuple> store;
+  Seq seq = 0;
+  for (int64_t i = 0; i < window; ++i) {
+    store.Insert(Stamped<STuple>{MakeBandS(rng), seq++, 0, 0}, true);
+  }
+  Seq clear_seq = 0;
+  while (clear_seq + kLag < seq) store.ClearExpedited(clear_seq++);
+  Seq oldest = 0;
+  for (auto _ : state) {
+    store.Insert(Stamped<STuple>{MakeBandS(rng), seq++, 0, 0}, true);
+    benchmark::DoNotOptimize(store.ClearExpedited(clear_seq++));
+    benchmark::DoNotOptimize(store.EraseSeq(oldest++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VectorStoreExpeditionCycle)->Arg(1024)->Arg(16384)->Arg(131072);
+
+// IWS maintenance: append a forwarded tuple, erase an acked one `lag`
+// entries behind (FIFO acknowledgements). The seed used a deque with a
+// linear erase scan; SeqRing resolves the seq through a flat index.
+void BM_SeqRingAckCycle(benchmark::State& state) {
+  const int64_t lag = state.range(0);
+  SeqRing<Stamped<STuple>> iws;
+  Rng rng(1);
+  Seq seq = 0;
+  for (int64_t i = 0; i < lag; ++i) {
+    iws.PushBack(Stamped<STuple>{MakeBandS(rng), seq++, 0, 0});
+  }
+  Seq acked = 0;
+  for (auto _ : state) {
+    iws.PushBack(Stamped<STuple>{MakeBandS(rng), seq++, 0, 0});
+    benchmark::DoNotOptimize(iws.Erase(acked++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeqRingAckCycle)->Arg(16)->Arg(256)->Arg(4096);
+
+// Point ops of the flat seq-keyed table vs the std::unordered containers it
+// replaced (tombstones, seq indexes).
+void BM_FlatSetTombstoneCycle(benchmark::State& state) {
+  FlatSet<Seq> set;
+  Seq seq = 0;
+  for (int i = 0; i < 1024; ++i) set.Insert(seq++);
+  Seq oldest = 0;
+  for (auto _ : state) {
+    set.Insert(seq++);
+    benchmark::DoNotOptimize(set.Erase(oldest++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatSetTombstoneCycle);
 
 }  // namespace
 }  // namespace sjoin

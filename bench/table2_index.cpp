@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   workload.key_domain = domain;
   workload.paced = false;
 
+  JsonEmitter json(flags, "table2_index");
   std::printf("%-42s %18s\n", "algorithm", "throughput (t/s)");
 
   double hsj_tput, llhj_tput, idx_tput;
@@ -92,6 +93,16 @@ int main(int argc, char** argv) {
               "cores; the multiple grows with the window since scan cost "
               "is O(window))\n",
               llhj_tput > 0 ? idx_tput / llhj_tput : 0.0, 225234.0 / 5117.0);
+  json.Emit(JsonRow()
+                .Str("workload", "equi")
+                .Int("nodes", nodes)
+                .Int("window_tuples", window)
+                .Int("key_domain", domain)
+                .Num("hsj_scan_tput", hsj_tput)
+                .Num("llhj_scan_tput", llhj_tput)
+                .Num("llhj_index_tput", idx_tput)
+                .Num("index_speedup",
+                     llhj_tput > 0 ? idx_tput / llhj_tput : 0.0));
 
   // Beyond the paper (its stated future work, Sections 7.6/9): an *ordered*
   // node-local index accelerating the original BAND join via range probes
@@ -123,5 +134,13 @@ int main(int argc, char** argv) {
   }
   std::printf("speedup range-index vs scan on band join: %.1fx\n",
               band_scan > 0 ? band_idx / band_scan : 0.0);
+  json.Emit(JsonRow()
+                .Str("workload", "band")
+                .Int("nodes", nodes)
+                .Int("window_tuples", window)
+                .Num("llhj_scan_tput", band_scan)
+                .Num("llhj_range_index_tput", band_idx)
+                .Num("index_speedup",
+                     band_scan > 0 ? band_idx / band_scan : 0.0));
   return 0;
 }

@@ -1,0 +1,200 @@
+// Flat open-addressing hash table (linear probing, power-of-two capacity,
+// tombstone deletion). The hot paths of both join engines are dominated by
+// point lookups keyed on sequence numbers — window expiry, expedition-end
+// delivery, acknowledgement matching, expiry tombstones — and
+// std::unordered_map/set pay a pointer chase plus an allocation per node
+// for each of them. This table keeps control bytes, keys, and values in
+// three contiguous arrays, so a lookup is one hash, one cache line of
+// control bytes, and (almost always) one key compare.
+//
+// Constraints, chosen for the engine's needs rather than generality:
+//  * K and V must be copy-assignable; erased values are not destroyed until
+//    the table rehashes or dies (all engine uses store PODs).
+//  * Keys are unique; Insert refuses duplicates instead of overwriting.
+//  * No iterator stability across mutations; ForEach is snapshot-style.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sjoin {
+
+/// Default hasher: a full-avalanche 64-bit mix (splitmix64 finalizer).
+/// Sequence numbers are dense integers — identity hashing would cluster
+/// linear probes, so every bit of the key must affect the slot index.
+struct Mix64Hash {
+  std::size_t operator()(uint64_t x) const {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+  std::size_t operator()(int64_t x) const {
+    return operator()(static_cast<uint64_t>(x));
+  }
+};
+
+template <typename K, typename V, typename Hash = Mix64Hash>
+class FlatMap {
+  enum Ctrl : uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return ctrl_.size(); }
+
+  void Clear() {
+    ctrl_.assign(ctrl_.size(), kEmpty);
+    size_ = 0;
+    tombs_ = 0;
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  V* Find(const K& key) {
+    const std::size_t slot = FindSlot(key);
+    return slot == kNoSlot ? nullptr : &vals_[slot];
+  }
+  const V* Find(const K& key) const {
+    const std::size_t slot = FindSlot(key);
+    return slot == kNoSlot ? nullptr : &vals_[slot];
+  }
+
+  bool Contains(const K& key) const { return FindSlot(key) != kNoSlot; }
+
+  /// Inserts key -> value. Returns false (and leaves the table unchanged)
+  /// when the key is already present.
+  bool Insert(const K& key, const V& value) {
+    bool inserted = false;
+    V& slot_value = GetOrInsert(key, &inserted);
+    if (inserted) slot_value = value;
+    return inserted;
+  }
+
+  /// Value for `key`, default-constructing it if absent. `inserted`
+  /// (optional) reports whether a new entry was created.
+  V& GetOrInsert(const K& key, bool* inserted = nullptr) {
+    ReserveForOneMore();
+    const std::size_t mask = ctrl_.size() - 1;
+    std::size_t idx = Hash{}(key)&mask;
+    std::size_t first_tomb = kNoSlot;
+    while (true) {
+      if (ctrl_[idx] == kEmpty) {
+        std::size_t target = first_tomb != kNoSlot ? first_tomb : idx;
+        if (first_tomb != kNoSlot) --tombs_;
+        ctrl_[target] = kFull;
+        keys_[target] = key;
+        vals_[target] = V{};
+        ++size_;
+        if (inserted != nullptr) *inserted = true;
+        return vals_[target];
+      }
+      if (ctrl_[idx] == kFull && keys_[idx] == key) {
+        if (inserted != nullptr) *inserted = false;
+        return vals_[idx];
+      }
+      if (ctrl_[idx] == kTomb && first_tomb == kNoSlot) first_tomb = idx;
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  /// Removes `key`; returns true when it was present.
+  bool Erase(const K& key) {
+    const std::size_t slot = FindSlot(key);
+    if (slot == kNoSlot) return false;
+    ctrl_[slot] = kTomb;
+    --size_;
+    ++tombs_;
+    return true;
+  }
+
+  /// Visits every (key, value) pair; f(const K&, V&). Do not mutate the
+  /// table from inside f.
+  template <typename F>
+  void ForEach(F&& f) {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == kFull) f(keys_[i], vals_[i]);
+    }
+  }
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == kFull) f(keys_[i], vals_[i]);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::size_t FindSlot(const K& key) const {
+    if (ctrl_.empty()) return kNoSlot;
+    const std::size_t mask = ctrl_.size() - 1;
+    std::size_t idx = Hash{}(key)&mask;
+    while (true) {
+      if (ctrl_[idx] == kEmpty) return kNoSlot;
+      if (ctrl_[idx] == kFull && keys_[idx] == key) return idx;
+      idx = (idx + 1) & mask;
+    }
+  }
+
+  /// Keeps occupancy (entries + tombstones) under 7/8 so probes terminate
+  /// quickly; rehashing drops tombstones and doubles when genuinely full.
+  void ReserveForOneMore() {
+    if (ctrl_.empty()) {
+      Rehash(kMinCapacity);
+      return;
+    }
+    if ((size_ + tombs_ + 1) * 8 >= ctrl_.size() * 7) {
+      const std::size_t want =
+          (size_ + 1) * 2 > ctrl_.size() ? ctrl_.size() * 2 : ctrl_.size();
+      Rehash(want);
+    }
+  }
+
+  void Rehash(std::size_t new_capacity) {
+    std::vector<uint8_t> old_ctrl = std::move(ctrl_);
+    std::vector<K> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    ctrl_.assign(new_capacity, kEmpty);
+    keys_.resize(new_capacity);
+    vals_.resize(new_capacity);
+    size_ = 0;
+    tombs_ = 0;
+    const std::size_t mask = new_capacity - 1;
+    for (std::size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] != kFull) continue;
+      std::size_t idx = Hash{}(old_keys[i]) & mask;
+      while (ctrl_[idx] == kFull) idx = (idx + 1) & mask;
+      ctrl_[idx] = kFull;
+      keys_[idx] = old_keys[i];
+      vals_[idx] = old_vals[i];
+      ++size_;
+    }
+  }
+
+  std::vector<uint8_t> ctrl_;
+  std::vector<K> keys_;
+  std::vector<V> vals_;
+  std::size_t size_ = 0;
+  std::size_t tombs_ = 0;
+};
+
+/// Flat open-addressing set (used for the expiry tombstones of LLHJ).
+template <typename K, typename Hash = Mix64Hash>
+class FlatSet {
+ public:
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.Clear(); }
+  bool Contains(const K& key) const { return map_.Contains(key); }
+  bool Insert(const K& key) { return map_.Insert(key, Unit{}); }
+  bool Erase(const K& key) { return map_.Erase(key); }
+
+ private:
+  struct Unit {};
+  FlatMap<K, Unit, Hash> map_;
+};
+
+}  // namespace sjoin

@@ -29,11 +29,13 @@
 //    outputs stage locally (see runtime/staged_channel.hpp).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
 
+#include "common/seq_ring.hpp"
 #include "common/types.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/executor.hpp"
@@ -97,12 +99,14 @@ class HsjNode : public Steppable {
     if constexpr (requires(Sink* s) { s->Drain(); }) {
       progress |= sink_->Drain();
     }
-    for (int i = 0; i < config_.msgs_per_step; ++i) {
-      bool any = ProcessLeftOne();
-      any |= ProcessRightOne();
-      if (!any) break;
+    // Input messages are consumed as bursts: processed in place off
+    // PeekBurst spans and retired with one ConsumeBurst index update per
+    // run instead of an acquire/release pair per message. Per-channel FIFO
+    // order and the arrival backpressure gate are unchanged.
+    const std::size_t consumed = ProcessLeftBurst() + ProcessRightBurst();
+    if (consumed > 0) {
       progress = true;
-      processed_.fetch_add(1, std::memory_order_relaxed);
+      processed_.fetch_add(consumed, std::memory_order_relaxed);
     }
     // Retry relocations deferred by a momentarily full channel, and any
     // rebalancing triggered by neighbour size changes.
@@ -149,12 +153,27 @@ class HsjNode : public Steppable {
   bool IsLeftmost() const { return config_.id == 0; }
   bool IsRightmost() const { return config_.id == config_.nodes - 1; }
 
+  /// Consumes up to msgs_per_step left-input messages as bursts. Returns
+  /// the number consumed; stops early at a backpressure-blocked arrival.
+  std::size_t ProcessLeftBurst() {
+    return DrainBurstBudget(left_in_,
+                            static_cast<std::size_t>(config_.msgs_per_step),
+                            [this](FlowMsg<R>* msg) { return HandleLeft(msg); });
+  }
+
+  /// Consumes up to msgs_per_step right-input messages as bursts.
+  std::size_t ProcessRightBurst() {
+    return DrainBurstBudget(
+        right_in_, static_cast<std::size_t>(config_.msgs_per_step),
+        [this](FlowMsg<S>* msg) { return HandleRight(msg); });
+  }
+
   // -- Left input: R arrivals/relocations, acks of S, expiries, R flushes. --
 
-  bool ProcessLeftOne() {
-    FlowMsg<R>* msg = left_in_->Front();
-    if (msg == nullptr) return false;
-
+  /// Processes one left-input message in place (the slot is released by the
+  /// caller's ConsumeBurst). Returns false iff the message is an arrival
+  /// deferred by backpressure — it then must stay at the channel front.
+  bool HandleLeft(FlowMsg<R>* msg) {
     switch (msg->kind) {
       case MsgKind::kArrival: {
         if (!IsRightmost() && !right_out_.Available(kArrivalSlack)) {
@@ -162,7 +181,6 @@ class HsjNode : public Steppable {
         }
         Stamped<R> r{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
         const bool dying = (msg->flags & kMsgDying) != 0;
-        left_in_->PopFront();
         ScanAgainstS(r);
         if (dying) {
           // Expired mid-traversal: keep travelling (scanning) but never
@@ -180,36 +198,26 @@ class HsjNode : public Steppable {
       }
       case MsgKind::kAck: {
         EraseIws(msg->seq);
-        left_in_->PopFront();
         return true;
       }
       case MsgKind::kExpiry: {
-        const StreamSide side = msg->ref_side;
-        const Seq seq = msg->seq;
-        const Timestamp ts = msg->ts;
-        const uint16_t hops = msg->hops;
-        left_in_->PopFront();
-        HandleExpiry(side, seq, ts, hops);
+        HandleExpiry(msg->ref_side, msg->seq, msg->ts, msg->hops);
         return true;
       }
       case MsgKind::kFlush: {
-        left_in_->PopFront();
         FlushR();
         return true;
       }
       default:
         ++counters_.anomalies;
-        left_in_->PopFront();
         return true;
     }
   }
 
   // -- Right input: S arrivals/relocations, expiries, S flushes. ------------
 
-  bool ProcessRightOne() {
-    FlowMsg<S>* msg = right_in_->Front();
-    if (msg == nullptr) return false;
-
+  /// Processes one right-input message in place; see HandleLeft.
+  bool HandleRight(FlowMsg<S>* msg) {
     switch (msg->kind) {
       case MsgKind::kArrival: {
         // Only the forward (relocation) direction is gated; the
@@ -221,7 +229,6 @@ class HsjNode : public Steppable {
         }
         Stamped<S> s{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
         const bool dying = (msg->flags & kMsgDying) != 0;
-        right_in_->PopFront();
         ScanAgainstR(s);
         if (dying) {
           if (!IsLeftmost()) {
@@ -231,7 +238,7 @@ class HsjNode : public Steppable {
             // Ack protocol still applies: the dying tuple stays virtually
             // present until the receiver confirms, so in-flight crossings
             // with R arrivals are detected.
-            iws_.push_back(s);
+            iws_.PushBack(s);
           }
         } else {
           ws_.push_back(s);
@@ -247,22 +254,15 @@ class HsjNode : public Steppable {
         return true;
       }
       case MsgKind::kExpiry: {
-        const StreamSide side = msg->ref_side;
-        const Seq seq = msg->seq;
-        const Timestamp ts = msg->ts;
-        const uint16_t hops = msg->hops;
-        right_in_->PopFront();
-        HandleExpiry(side, seq, ts, hops);
+        HandleExpiry(msg->ref_side, msg->seq, msg->ts, msg->hops);
         return true;
       }
       case MsgKind::kFlush: {
-        right_in_->PopFront();
         FlushS();
         return true;
       }
       default:
         ++counters_.anomalies;
-        right_in_->PopFront();
         return true;
     }
   }
@@ -274,9 +274,9 @@ class HsjNode : public Steppable {
       if (pred_(r.value, s.value)) sink_->Emit(MakeResult(r, s, config_.id));
     }
     // Forwarded-but-unacked S tuples are virtually still resident here.
-    for (const auto& s : iws_) {
+    iws_.ForEach([&](const Stamped<S>& s) {
       if (pred_(r.value, s.value)) sink_->Emit(MakeResult(r, s, config_.id));
-    }
+    });
   }
 
   void ScanAgainstR(const Stamped<S>& s) {
@@ -350,7 +350,7 @@ class HsjNode : public Steppable {
     msg.flags |= kMsgRelocated;
     left_out_.Push(msg);
     // The tuple stays virtually present (IWS) until the receiver acks.
-    iws_.push_back(ws_.front());
+    iws_.PushBack(ws_.front());
     ws_.pop_front();
     ++counters_.relocated_s;
   }
@@ -386,7 +386,7 @@ class HsjNode : public Steppable {
           FlowMsg<S> fwd = MakeArrival(victim);
           fwd.flags |= kMsgRelocated | kMsgDying;
           left_out_.Push(fwd);
-          iws_.push_back(victim);
+          iws_.PushBack(victim);
         }
         return;
       }
@@ -479,15 +479,7 @@ class HsjNode : public Steppable {
     return false;
   }
 
-  bool EraseIws(Seq seq) {
-    for (auto it = iws_.begin(); it != iws_.end(); ++it) {
-      if (it->seq == seq) {
-        iws_.erase(it);
-        return true;
-      }
-    }
-    return false;
-  }
+  bool EraseIws(Seq seq) { return iws_.Erase(seq); }
 
   Config config_;
   Pred pred_;
@@ -500,7 +492,7 @@ class HsjNode : public Steppable {
 
   std::deque<Stamped<R>> wr_;   // front = oldest
   std::deque<Stamped<S>> ws_;
-  std::deque<Stamped<S>> iws_;  // forwarded to the left, not yet acked
+  SeqRing<Stamped<S>> iws_;     // forwarded to the left, not yet acked
 
   // Published segment sizes (self-balancing). Heap-allocated so the node
   // stays movable while neighbours hold stable pointers.

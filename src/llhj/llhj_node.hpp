@@ -35,11 +35,12 @@
 //    completing its expedition, feeding punctuation generation (Section 6).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <deque>
-#include <unordered_set>
 
+#include "common/flat_hash.hpp"
+#include "common/seq_ring.hpp"
 #include "common/types.hpp"
 #include "llhj/home_policy.hpp"
 #include "llhj/store.hpp"
@@ -93,12 +94,17 @@ class LlhjNode : public Steppable {
     if constexpr (requires(Sink* s) { s->Drain(); }) {
       progress |= sink_->Drain();
     }
-    for (int i = 0; i < config_.msgs_per_step; ++i) {
-      bool any = ProcessLeftOne();
-      any |= ProcessRightOne();
-      if (!any) break;
+    // Each side consumes up to msgs_per_step messages per step as a burst:
+    // the messages are processed in place off PeekBurst spans and retired
+    // with a single ConsumeBurst index update, instead of one
+    // acquire/release pair per message. Per-channel FIFO order and the
+    // arrival backpressure gate are untouched — a blocked arrival ends the
+    // burst with everything before it consumed and everything from it on
+    // still queued.
+    const std::size_t consumed = ProcessLeftBurst() + ProcessRightBurst();
+    if (consumed > 0) {
       progress = true;
-      processed_.fetch_add(1, std::memory_order_relaxed);
+      processed_.fetch_add(consumed, std::memory_order_relaxed);
     }
     progress |= right_out_.Drain() | left_out_.Drain();
     return progress;
@@ -119,12 +125,27 @@ class LlhjNode : public Steppable {
   bool IsLeftmost() const { return config_.id == 0; }
   bool IsRightmost() const { return config_.id == config_.nodes - 1; }
 
+  /// Consumes up to msgs_per_step left-input messages as bursts. Returns
+  /// the number consumed; stops early at a backpressure-blocked arrival.
+  std::size_t ProcessLeftBurst() {
+    return DrainBurstBudget(left_in_,
+                            static_cast<std::size_t>(config_.msgs_per_step),
+                            [this](FlowMsg<R>* msg) { return HandleLeft(msg); });
+  }
+
+  /// Consumes up to msgs_per_step right-input messages as bursts.
+  std::size_t ProcessRightBurst() {
+    return DrainBurstBudget(
+        right_in_, static_cast<std::size_t>(config_.msgs_per_step),
+        [this](FlowMsg<S>* msg) { return HandleRight(msg); });
+  }
+
   // -- Left input (Figure 13): R arrivals, acks of S, expiries of S. ---------
 
-  bool ProcessLeftOne() {
-    FlowMsg<R>* msg = left_in_->Front();
-    if (msg == nullptr) return false;
-
+  /// Processes one left-input message in place (the slot is released by the
+  /// caller's ConsumeBurst). Returns false iff the message is an arrival
+  /// deferred by backpressure — it then must stay at the channel front.
+  bool HandleLeft(FlowMsg<R>* msg) {
     switch (msg->kind) {
       case MsgKind::kArrival: {
         // Backpressure gates only the *forward* direction; control outputs
@@ -142,7 +163,6 @@ class LlhjNode : public Steppable {
 
         // Fig 13 line 7: expedite first to minimize latency.
         if (!IsRightmost()) right_out_.Push(*msg);
-        left_in_->PopFront();
 
         // Fig 13 line 8: match against stored copies and in-flight S.
         ScanAgainstS(r);
@@ -173,7 +193,6 @@ class LlhjNode : public Steppable {
       }
       case MsgKind::kAck: {  // Fig 13 lines 13-14
         EraseIws(msg->seq);
-        left_in_->PopFront();
         return true;
       }
       case MsgKind::kExpiry: {  // of an S tuple, travelling toward h_s
@@ -182,7 +201,7 @@ class LlhjNode : public Steppable {
         if (IsLeftmost()) home = config_.home_s.Of(seq);
         if (home == config_.id) {
           if (!ws_.EraseSeq(seq)) {
-            tombstones_s_.insert(seq);
+            tombstones_s_.Insert(seq);
             ++counters_.tombstoned;
           }
         } else {
@@ -191,27 +210,22 @@ class LlhjNode : public Steppable {
           fwd.hops = static_cast<uint16_t>(msg->hops + 1);
           right_out_.Push(fwd);
         }
-        left_in_->PopFront();
         return true;
       }
       case MsgKind::kFlush: {
         // LLHJ matching is entirely arrival-driven; nothing is pending.
-        left_in_->PopFront();
         return true;
       }
       default:
         ++counters_.anomalies;
-        left_in_->PopFront();
         return true;
     }
   }
 
   // -- Right input (Figure 14): S arrivals, expedition-ends, expiries of R. --
 
-  bool ProcessRightOne() {
-    FlowMsg<S>* msg = right_in_->Front();
-    if (msg == nullptr) return false;
-
+  /// Processes one right-input message in place; see HandleLeft.
+  bool HandleRight(FlowMsg<S>* msg) {
     switch (msg->kind) {
       case MsgKind::kArrival: {
         // Only the forward direction is gated; the acknowledgement stages
@@ -226,7 +240,6 @@ class LlhjNode : public Steppable {
 
         // Fig 14 line 7: expedite first.
         if (!IsLeftmost()) left_out_.Push(*msg);
-        right_in_->PopFront();
 
         // Fig 14 line 8: avoid stored/stored double matches — only
         // non-expedited R entries participate.
@@ -235,7 +248,7 @@ class LlhjNode : public Steppable {
         // Fig 14 lines 9-10: fresh tuples stay virtually present until the
         // receiver acknowledges them (avoids stored/fresh misses). The
         // leftmost node has no receiver, so nothing to track there.
-        if (config_.id > home && !IsLeftmost()) iws_.push_back(s);
+        if (config_.id > home && !IsLeftmost()) iws_.PushBack(s);
 
         // Fig 14 lines 11-12: store at the home node.
         if (home == config_.id) {
@@ -266,7 +279,6 @@ class LlhjNode : public Steppable {
         } else {
           left_out_.Push(*msg);
         }
-        right_in_->PopFront();
         return true;
       }
       case MsgKind::kExpiry: {  // of an R tuple, travelling toward h_r
@@ -275,7 +287,7 @@ class LlhjNode : public Steppable {
         if (IsRightmost()) home = config_.home_r.Of(seq);
         if (home == config_.id) {
           if (!wr_.EraseSeq(seq)) {
-            tombstones_r_.insert(seq);
+            tombstones_r_.Insert(seq);
             ++counters_.tombstoned;
           }
         } else {
@@ -284,16 +296,13 @@ class LlhjNode : public Steppable {
           fwd.hops = static_cast<uint16_t>(msg->hops + 1);
           left_out_.Push(fwd);
         }
-        right_in_->PopFront();
         return true;
       }
       case MsgKind::kFlush: {
-        right_in_->PopFront();
         return true;
       }
       default:
         ++counters_.anomalies;
-        right_in_->PopFront();
         return true;
     }
   }
@@ -309,11 +318,11 @@ class LlhjNode : public Steppable {
       }
     });
     // In-flight fresh S tuples: the "while travelling" evaluations.
-    for (const auto& s : iws_) {
+    iws_.ForEach([&](const Stamped<S>& s) {
       if (pred_(r.value, s.value)) {
         sink_->Emit(MakeResult(r, s, config_.id));
       }
-    }
+    });
   }
 
   void ScanAgainstR(const Stamped<S>& s) {
@@ -326,19 +335,11 @@ class LlhjNode : public Steppable {
 
   // -- Helpers -----------------------------------------------------------------
 
-  static bool ConsumeTombstone(std::unordered_set<Seq>* tombs, Seq seq) {
-    return tombs->erase(seq) > 0;
+  static bool ConsumeTombstone(FlatSet<Seq>* tombs, Seq seq) {
+    return tombs->Erase(seq);
   }
 
-  bool EraseIws(Seq seq) {
-    for (auto it = iws_.begin(); it != iws_.end(); ++it) {
-      if (it->seq == seq) {
-        iws_.erase(it);
-        return true;
-      }
-    }
-    return false;
-  }
+  bool EraseIws(Seq seq) { return iws_.Erase(seq); }
 
   Config config_;
   Pred pred_;
@@ -351,12 +352,12 @@ class LlhjNode : public Steppable {
 
   HighWaterMarks* hwm_;
 
-  RStore wr_;                   // node-local R window (with expedition flags)
-  SStore ws_;                   // node-local S window
-  std::deque<Stamped<S>> iws_;  // fresh S received, not yet acked from left
+  RStore wr_;               // node-local R window (with expedition flags)
+  SStore ws_;               // node-local S window
+  SeqRing<Stamped<S>> iws_;  // fresh S received, not yet acked from left
 
-  std::unordered_set<Seq> tombstones_r_;
-  std::unordered_set<Seq> tombstones_s_;
+  FlatSet<Seq> tombstones_r_;
+  FlatSet<Seq> tombstones_s_;
 
   Counters counters_;
   std::atomic<uint64_t> processed_{0};

@@ -3,14 +3,25 @@
 // local index structures possible (paper Sections 4.1 and 7.6):
 //
 //  * VectorStore — order-preserving scan store for arbitrary predicates
-//    (the band join of the benchmark).
+//    (the band join of the benchmark). Backed by a contiguous ring buffer:
+//    inserts append at the tail, window expiries pop the head without any
+//    element movement (expiries arrive oldest-first per home node), and
+//    the probe scan walks at most two contiguous segments.
 //  * HashStore   — hash index keyed on the join attribute for equi-joins
-//    (the Table 2 "with index" configuration).
+//    (the Table 2 "with index" configuration). Entries live in a slot slab
+//    with intrusive per-key chains; two flat open-addressing tables map
+//    join-key -> chain and seq -> slot, so expiry and expedition-end
+//    handling are O(1) with no per-node allocation.
 //
 // R-side stores additionally carry the *expedition flag* of Section 4.2.3:
 // entries stay "expedited" until the tuple's expedition-end message returns
 // to the home node; S arrivals match only non-expedited entries to avoid
-// stored/stored double matches. Both stores implement the same concept:
+// stored/stored double matches. Because insertions and expedition-ends both
+// happen in sequence order, the flags are monotone over insertion order —
+// cleared entries form a prefix and still-expedited entries a suffix.
+// VectorStore::ClearExpedited exploits this: it scans newest-to-oldest and
+// stops at the first non-expedited entry instead of walking the whole
+// window. All stores implement the same concept:
 //
 //   void Insert(const Stamped<T>&, bool expedited);
 //   bool EraseSeq(Seq);                 // window expiry
@@ -20,11 +31,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 
 namespace sjoin {
@@ -37,32 +47,49 @@ struct StoreEntry {
 };
 
 /// Scan store: supports any predicate; ForEach visits every entry.
+/// Contiguous ring buffer, oldest entry at the head.
 template <typename T>
 class VectorStore {
  public:
   void Insert(const Stamped<T>& t, bool expedited) {
-    entries_.push_back(StoreEntry<T>{t, expedited});
+    if (entries_.empty() || size_ == entries_.size()) Grow();
+    entries_[(head_ + size_) & mask_] = StoreEntry<T>{t, expedited};
+    ++size_;
   }
 
   bool EraseSeq(Seq seq) {
-    // Expiries arrive oldest-first per home node, so front is typical.
-    if (!entries_.empty() && entries_.front().tuple.seq == seq) {
-      entries_.pop_front();
+    if (size_ == 0) return false;
+    // Expiries arrive oldest-first per home node, so the head is the
+    // overwhelmingly typical target: a pure index bump, no element moves.
+    if (At(0).tuple.seq == seq) {
+      head_ = (head_ + 1) & mask_;
+      --size_;
       return true;
     }
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->tuple.seq == seq) {
-        entries_.erase(it);
-        return true;
+    for (std::size_t i = 1; i < size_; ++i) {
+      if (At(i).tuple.seq != seq) continue;
+      // Out-of-order erase (rare): close the gap by shifting the shorter
+      // side of the ring.
+      if (i < size_ - i) {
+        for (std::size_t j = i; j > 0; --j) At(j) = At(j - 1);
+        head_ = (head_ + 1) & mask_;
+      } else {
+        for (std::size_t j = i; j + 1 < size_; ++j) At(j) = At(j + 1);
       }
+      --size_;
+      return true;
     }
     return false;
   }
 
   bool ClearExpedited(Seq seq) {
-    // Expedition-ends arrive in insertion order; the oldest expedited entry
-    // is the typical target, so search from the front.
-    for (auto& entry : entries_) {
+    // Expedition-ends arrive in insertion order, so flags are monotone:
+    // non-expedited prefix, expedited suffix. The target is the oldest
+    // expedited entry — scan newest-to-oldest and bail out as soon as the
+    // suffix ends instead of walking the non-expedited bulk of the window.
+    for (std::size_t i = size_; i > 0; --i) {
+      StoreEntry<T>& entry = At(i - 1);
+      if (!entry.expedited) return false;
       if (entry.tuple.seq == seq) {
         entry.expedited = false;
         return true;
@@ -74,79 +101,137 @@ class VectorStore {
   /// Visits every entry (probe is ignored — scan store).
   template <typename Probe, typename F>
   void ForEach(const Probe& /*probe*/, F&& f) const {
-    for (const auto& entry : entries_) f(entry);
+    for (std::size_t i = 0; i < size_; ++i) f(At(i));
   }
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return size_; }
 
   std::size_t expedited_count() const {
     std::size_t n = 0;
-    for (const auto& entry : entries_) n += entry.expedited ? 1 : 0;
+    for (std::size_t i = 0; i < size_; ++i) n += At(i).expedited ? 1 : 0;
     return n;
   }
 
  private:
-  std::deque<StoreEntry<T>> entries_;
+  StoreEntry<T>& At(std::size_t i) { return entries_[(head_ + i) & mask_]; }
+  const StoreEntry<T>& At(std::size_t i) const {
+    return entries_[(head_ + i) & mask_];
+  }
+
+  void Grow() {
+    const std::size_t new_cap = entries_.empty() ? 16 : entries_.size() * 2;
+    std::vector<StoreEntry<T>> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = At(i);
+    entries_ = std::move(next);
+    mask_ = new_cap - 1;
+    head_ = 0;
+  }
+
+  std::vector<StoreEntry<T>> entries_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// Hash index store for equi-joins. OwnKey extracts the key from this
 /// store's tuple type; ProbeKey extracts it from the probing (opposite
-/// stream) tuple type. ForEach visits only the matching bucket.
+/// stream) tuple type. ForEach visits only the matching chain, in
+/// insertion order. Erase/clear are O(1) via the seq -> slot table.
 template <typename T, typename OwnKey, typename ProbeKey>
 class HashStore {
  public:
   void Insert(const Stamped<T>& t, bool expedited) {
     const int64_t key = OwnKey{}(t.value);
-    buckets_[key].push_back(StoreEntry<T>{t, expedited});
-    seq_to_key_.emplace(t.seq, key);
+    const int32_t slot = AllocSlot();
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.entry = StoreEntry<T>{t, expedited};
+    s.key = key;
+    s.next = kNil;
+    bool created = false;
+    Chain& chain = chains_.GetOrInsert(key, &created);
+    if (created) {
+      chain.head = chain.tail = slot;
+      s.prev = kNil;
+    } else {
+      slots_[static_cast<std::size_t>(chain.tail)].next = slot;
+      s.prev = chain.tail;
+      chain.tail = slot;
+    }
+    seq_index_.Insert(t.seq, slot);
     ++size_;
   }
 
   bool EraseSeq(Seq seq) {
-    auto key_it = seq_to_key_.find(seq);
-    if (key_it == seq_to_key_.end()) return false;
-    auto bucket_it = buckets_.find(key_it->second);
-    if (bucket_it != buckets_.end()) {
-      auto& vec = bucket_it->second;
-      for (auto it = vec.begin(); it != vec.end(); ++it) {
-        if (it->tuple.seq == seq) {
-          vec.erase(it);
-          break;
-        }
-      }
-      if (vec.empty()) buckets_.erase(bucket_it);
+    const int32_t* found = seq_index_.Find(seq);
+    if (found == nullptr) return false;
+    const int32_t slot = *found;
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    Chain* chain = chains_.Find(s.key);
+    if (s.prev != kNil) {
+      slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+    } else {
+      chain->head = s.next;
     }
-    seq_to_key_.erase(key_it);
+    if (s.next != kNil) {
+      slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+    } else {
+      chain->tail = s.prev;
+    }
+    if (chain->head == kNil) chains_.Erase(s.key);
+    seq_index_.Erase(seq);
+    free_.push_back(slot);
     --size_;
     return true;
   }
 
   bool ClearExpedited(Seq seq) {
-    auto key_it = seq_to_key_.find(seq);
-    if (key_it == seq_to_key_.end()) return false;
-    auto bucket_it = buckets_.find(key_it->second);
-    if (bucket_it == buckets_.end()) return false;
-    for (auto& entry : bucket_it->second) {
-      if (entry.tuple.seq == seq) {
-        entry.expedited = false;
-        return true;
-      }
-    }
-    return false;
+    const int32_t* found = seq_index_.Find(seq);
+    if (found == nullptr) return false;
+    slots_[static_cast<std::size_t>(*found)].entry.expedited = false;
+    return true;
   }
 
   template <typename Probe, typename F>
   void ForEach(const Probe& probe, F&& f) const {
-    auto it = buckets_.find(ProbeKey{}(probe));
-    if (it == buckets_.end()) return;
-    for (const auto& entry : it->second) f(entry);
+    const Chain* chain = chains_.Find(ProbeKey{}(probe));
+    if (chain == nullptr) return;
+    for (int32_t slot = chain->head; slot != kNil;
+         slot = slots_[static_cast<std::size_t>(slot)].next) {
+      f(slots_[static_cast<std::size_t>(slot)].entry);
+    }
   }
 
   std::size_t size() const { return size_; }
 
  private:
-  std::unordered_map<int64_t, std::vector<StoreEntry<T>>> buckets_;
-  std::unordered_map<Seq, int64_t> seq_to_key_;
+  static constexpr int32_t kNil = -1;
+
+  struct Slot {
+    StoreEntry<T> entry;
+    int64_t key = 0;     ///< join key, for chain maintenance on erase
+    int32_t prev = kNil;  ///< previous slot in this key's chain
+    int32_t next = kNil;  ///< next slot in this key's chain
+  };
+
+  struct Chain {
+    int32_t head = kNil;
+    int32_t tail = kNil;
+  };
+
+  int32_t AllocSlot() {
+    if (!free_.empty()) {
+      const int32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<int32_t>(slots_.size() - 1);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<int32_t> free_;
+  FlatMap<int64_t, Chain> chains_;
+  FlatMap<Seq, int32_t> seq_index_;
   std::size_t size_ = 0;
 };
 
@@ -162,27 +247,27 @@ class OrderedStore {
   void Insert(const Stamped<T>& t, bool expedited) {
     const int64_t key = OwnKey{}(t.value);
     tree_.emplace(key, StoreEntry<T>{t, expedited});
-    seq_to_key_.emplace(t.seq, key);
+    seq_to_key_.Insert(t.seq, key);
   }
 
   bool EraseSeq(Seq seq) {
-    auto key_it = seq_to_key_.find(seq);
-    if (key_it == seq_to_key_.end()) return false;
-    auto [lo, hi] = tree_.equal_range(key_it->second);
+    const int64_t* key = seq_to_key_.Find(seq);
+    if (key == nullptr) return false;
+    auto [lo, hi] = tree_.equal_range(*key);
     for (auto it = lo; it != hi; ++it) {
       if (it->second.tuple.seq == seq) {
         tree_.erase(it);
         break;
       }
     }
-    seq_to_key_.erase(key_it);
+    seq_to_key_.Erase(seq);
     return true;
   }
 
   bool ClearExpedited(Seq seq) {
-    auto key_it = seq_to_key_.find(seq);
-    if (key_it == seq_to_key_.end()) return false;
-    auto [lo, hi] = tree_.equal_range(key_it->second);
+    const int64_t* key = seq_to_key_.Find(seq);
+    if (key == nullptr) return false;
+    auto [lo, hi] = tree_.equal_range(*key);
     for (auto it = lo; it != hi; ++it) {
       if (it->second.tuple.seq == seq) {
         it->second.expedited = false;
@@ -203,7 +288,7 @@ class OrderedStore {
 
  private:
   std::multimap<int64_t, StoreEntry<T>> tree_;
-  std::unordered_map<Seq, int64_t> seq_to_key_;
+  FlatMap<Seq, int64_t> seq_to_key_;
 };
 
 }  // namespace sjoin

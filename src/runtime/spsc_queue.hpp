@@ -6,9 +6,11 @@
 // lines and each side caches the opposing index to avoid ping-ponging.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "runtime/cacheline.hpp"
@@ -17,9 +19,15 @@ namespace sjoin {
 
 /// Wait-free bounded SPSC FIFO. T must be copyable (engines use PODs).
 ///
-/// Exactly one thread may call the producer API (TryPush) and one thread the
-/// consumer API (Front/PopFront/TryPop) at a time. Size/free estimates are
-/// exact when called from the respective side.
+/// Exactly one thread may call the producer API (TryPush/PushBurst) and one
+/// thread the consumer API (Front/PopFront/TryPop/PeekBurst/ConsumeBurst) at
+/// a time. Size/free estimates are exact when called from the respective
+/// side.
+///
+/// The burst APIs amortize one atomic index update (and hence one
+/// producer/consumer cache-line transfer) over up to N elements, which is
+/// what makes high-rate message passing between pipeline nodes cheap: the
+/// per-element cost degenerates to a copy into an already-resident slot.
 template <typename T>
 class SpscQueue {
  public:
@@ -48,6 +56,32 @@ class SpscQueue {
     return true;
   }
 
+  /// Producer: pushes up to `items.size()` elements, preserving order, with
+  /// a single release store. Returns the number actually enqueued (0 when
+  /// full — never a partial failure: the prefix that fits is enqueued).
+  std::size_t PushBurst(std::span<const T> items) {
+    return TryPushBurst(items.data(), items.size());
+  }
+
+  /// Producer: raw-pointer variant of PushBurst.
+  std::size_t TryPushBurst(const T* items, std::size_t n) {
+    if (n == 0) return 0;
+    const std::size_t tail = tail_->load(std::memory_order_relaxed);
+    std::size_t free = capacity() - (tail - cached_head_);
+    if (free < n) {
+      cached_head_ = head_->load(std::memory_order_acquire);
+      free = capacity() - (tail - cached_head_);
+      if (free == 0) return 0;
+    }
+    if (n > free) n = free;
+    const std::size_t idx = tail & mask_;
+    const std::size_t first = std::min(n, capacity() - idx);
+    std::copy_n(items, first, slots_.begin() + static_cast<std::ptrdiff_t>(idx));
+    std::copy_n(items + first, n - first, slots_.begin());
+    tail_->store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   /// Producer: free slots (exact from producer side).
   std::size_t FreeApprox() const {
     const std::size_t tail = tail_->load(std::memory_order_relaxed);
@@ -71,6 +105,50 @@ class SpscQueue {
     const std::size_t head = head_->load(std::memory_order_relaxed);
     assert(head != tail_->load(std::memory_order_acquire) && "pop on empty");
     head_->store(head + 1, std::memory_order_release);
+  }
+
+  /// Consumer: exposes the longest *contiguous* run of queued elements
+  /// starting at the front without consuming them. Returns the run length
+  /// and sets *first to its start; the pointers stay valid until
+  /// ConsumeBurst/PopFront. A wrapped queue surfaces the remainder on the
+  /// next call after the first run is consumed.
+  std::size_t PeekBurst(T** first) {
+    const std::size_t head = head_->load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_->load(std::memory_order_acquire);
+      if (head == cached_tail_) return 0;
+    }
+    const std::size_t idx = head & mask_;
+    const std::size_t queued = cached_tail_ - head;
+    *first = &slots_[idx];
+    return std::min(queued, capacity() - idx);
+  }
+
+  /// Consumer: drops the front `n` elements with a single release store.
+  /// `n` must not exceed the run returned by a prior PeekBurst.
+  void ConsumeBurst(std::size_t n) {
+    if (n == 0) return;
+    const std::size_t head = head_->load(std::memory_order_relaxed);
+    assert(n <= tail_->load(std::memory_order_acquire) - head &&
+           "consume past tail");
+    head_->store(head + n, std::memory_order_release);
+  }
+
+  /// Consumer: pops up to `max` elements into `out`, preserving order, with
+  /// one release store per contiguous run (at most two for a wrapped
+  /// queue). Returns the number popped.
+  std::size_t PopBurst(T* out, std::size_t max) {
+    std::size_t total = 0;
+    while (total < max) {
+      T* first = nullptr;
+      std::size_t n = PeekBurst(&first);
+      if (n == 0) break;
+      n = std::min(n, max - total);
+      std::copy_n(first, n, out + total);
+      ConsumeBurst(n);
+      total += n;
+    }
+    return total;
   }
 
   /// Consumer: pop into *out; returns false when empty.
@@ -103,5 +181,31 @@ class SpscQueue {
   CachePadded<std::atomic<std::size_t>> head_{};
   std::size_t cached_tail_ = 0;  // consumer's cache of tail_
 };
+
+/// Consumer-side burst driver shared by the pipeline nodes: feeds up to
+/// `budget` front messages of `queue` through `handler` (one T* at a time,
+/// processed in place), retiring each contiguous run with a single
+/// ConsumeBurst. `handler` returns false to stop *without* consuming that
+/// message — it (and everything behind it) stays at the channel front,
+/// which is how the arrival backpressure gate defers work. Returns the
+/// number of messages consumed.
+template <typename T, typename Handler>
+std::size_t DrainBurstBudget(SpscQueue<T>* queue, std::size_t budget,
+                             Handler&& handler) {
+  std::size_t done = 0;
+  while (budget > 0) {
+    T* msgs = nullptr;
+    std::size_t n = queue->PeekBurst(&msgs);
+    if (n == 0) break;
+    n = std::min(n, budget);
+    std::size_t i = 0;
+    while (i < n && handler(&msgs[i])) ++i;
+    queue->ConsumeBurst(i);
+    done += i;
+    budget -= i;
+    if (i < n) break;  // handler deferred msgs[i]: leave it queued
+  }
+  return done;
+}
 
 }  // namespace sjoin

@@ -18,7 +18,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -207,15 +206,40 @@ class Feeder : public Steppable {
     if (!right_pending_.empty()) MoveToOutbox(&right_pending_, &right_outbox_);
   }
 
+  /// FIFO delivery buffer consumed from a head cursor; keeping it a
+  /// contiguous vector lets PushOutbox hand whole batches to
+  /// SpscQueue::TryPushBurst (one atomic update per batch, not per tuple).
+  template <typename T>
+  struct Outbox {
+    std::vector<FlowMsg<T>> buf;
+    std::size_t head = 0;
+
+    std::size_t size() const { return buf.size() - head; }
+    bool empty() const { return head == buf.size(); }
+    const FlowMsg<T>& front() const { return buf[head]; }
+    void Compact() {
+      if (head == buf.size()) {
+        buf.clear();
+        head = 0;
+      } else if (head >= 1024) {
+        // Under sustained backpressure the outbox may never fully empty;
+        // reclaim the delivered prefix so memory stays proportional to the
+        // (bounded) undelivered backlog, not to total traffic.
+        buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+    }
+  };
+
   template <typename T>
   static void MoveToOutbox(std::vector<FlowMsg<T>>* pending,
-                           std::deque<FlowMsg<T>>* outbox) {
-    for (const auto& msg : *pending) outbox->push_back(msg);
+                           Outbox<T>* outbox) {
+    outbox->buf.insert(outbox->buf.end(), pending->begin(), pending->end());
     pending->clear();
   }
 
   template <typename T>
-  bool GateBlocked(const std::deque<FlowMsg<T>>& outbox) const {
+  bool GateBlocked(const Outbox<T>& outbox) const {
     if (outbox.empty() || options_.expiry_gate == nullptr) return false;
     const FlowMsg<T>& front = outbox.front();
     return front.kind == MsgKind::kExpiry &&
@@ -224,19 +248,34 @@ class Feeder : public Steppable {
   }
 
   template <typename T>
-  bool PushOutbox(std::deque<FlowMsg<T>>* outbox, SpscQueue<FlowMsg<T>>* q) {
+  bool PushOutbox(Outbox<T>* outbox, SpscQueue<FlowMsg<T>>* q) {
     bool progress = false;
     while (!outbox->empty()) {
-      const FlowMsg<T>& front = outbox->front();
-      if (front.kind == MsgKind::kExpiry && options_.expiry_gate != nullptr &&
-          options_.expiry_gate->CompletedSeq(front.ref_side) <
-              static_cast<int64_t>(front.seq)) {
-        break;  // tuple still travelling; hold this flow back
+      const FlowMsg<T>* msgs = outbox->buf.data() + outbox->head;
+      const std::size_t avail = outbox->size();
+      // Longest deliverable prefix: everything up to the first expiry whose
+      // tuple has not completed its expedition yet (flow order preserved —
+      // messages behind a gated expiry wait with it).
+      std::size_t run = avail;
+      if (options_.expiry_gate != nullptr) {
+        run = 0;
+        while (run < avail) {
+          const FlowMsg<T>& m = msgs[run];
+          if (m.kind == MsgKind::kExpiry &&
+              options_.expiry_gate->CompletedSeq(m.ref_side) <
+                  static_cast<int64_t>(m.seq)) {
+            break;
+          }
+          ++run;
+        }
       }
-      if (!q->TryPush(front)) break;
-      outbox->pop_front();
-      progress = true;
+      if (run == 0) break;  // front expiry still gated
+      const std::size_t pushed = q->TryPushBurst(msgs, run);
+      outbox->head += pushed;
+      progress |= pushed > 0;
+      if (pushed < run || run < avail) break;  // channel full or gated
     }
+    outbox->Compact();
     return progress;
   }
 
@@ -246,8 +285,8 @@ class Feeder : public Steppable {
 
   std::vector<FlowMsg<R>> left_pending_;
   std::vector<FlowMsg<S>> right_pending_;
-  std::deque<FlowMsg<R>> left_outbox_;
-  std::deque<FlowMsg<S>> right_outbox_;
+  Outbox<R> left_outbox_;
+  Outbox<S> right_outbox_;
 
   DriverEvent<R, S> next_event_{};
   bool have_next_ = false;

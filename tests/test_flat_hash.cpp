@@ -1,0 +1,150 @@
+// Unit tests for the flat open-addressing hash table and the in-flight
+// sequence ring — the cache-friendly bookkeeping structures behind the
+// LLHJ/HSJ hot paths (tombstones, seq indexes, IWS buffers).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+#include "common/rng.hpp"
+#include "common/seq_ring.hpp"
+#include "common/types.hpp"
+
+namespace sjoin {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_TRUE(map.Insert(1, 10));
+  EXPECT_FALSE(map.Insert(1, 20));  // duplicate refused
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), 10);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, GetOrInsertDefaultConstructs) {
+  FlatMap<uint64_t, int> map;
+  bool inserted = false;
+  int& v = map.GetOrInsert(7, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(v, 0);
+  v = 42;
+  EXPECT_EQ(*map.Find(7), 42);
+  int& again = map.GetOrInsert(7, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(again, 42);
+}
+
+TEST(FlatMap, SurvivesGrowthAndTombstoneChurn) {
+  FlatMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(99);
+  for (int op = 0; op < 50'000; ++op) {
+    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 2000));
+    if (rng.Chance(0.55)) {
+      const uint64_t val = static_cast<uint64_t>(op);
+      EXPECT_EQ(map.Insert(key, val), ref.emplace(key, val).second);
+    } else {
+      EXPECT_EQ(map.Erase(key), ref.erase(key) > 0);
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  for (const auto& [k, v] : ref) {
+    const uint64_t* got = map.Find(k);
+    ASSERT_NE(got, nullptr) << "missing key " << k;
+    EXPECT_EQ(*got, v);
+  }
+  std::size_t visited = 0;
+  map.ForEach([&](const uint64_t& k, const uint64_t&) {
+    EXPECT_TRUE(ref.count(k));
+    ++visited;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap, DenseSequentialKeysProbeShort) {
+  // Sequence numbers are dense integers; the mixing hash must spread them.
+  FlatMap<uint64_t, int> map;
+  for (uint64_t k = 0; k < 10'000; ++k) ASSERT_TRUE(map.Insert(k, 1));
+  for (uint64_t k = 0; k < 10'000; ++k) ASSERT_NE(map.Find(k), nullptr);
+  EXPECT_EQ(map.Find(10'000), nullptr);
+}
+
+TEST(FlatSet, BasicLifecycle) {
+  FlatSet<Seq> set;
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_FALSE(set.Insert(5));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(6));
+  EXPECT_TRUE(set.Erase(5));
+  EXPECT_FALSE(set.Erase(5));
+  EXPECT_TRUE(set.empty());
+}
+
+struct Item {
+  Seq seq = 0;
+  int payload = 0;
+};
+
+std::vector<Seq> LiveSeqs(const SeqRing<Item>& ring) {
+  std::vector<Seq> out;
+  ring.ForEach([&](const Item& item) { out.push_back(item.seq); });
+  return out;
+}
+
+TEST(SeqRing, FifoOrderAndEraseBySeq) {
+  SeqRing<Item> ring;
+  for (Seq s = 0; s < 5; ++s) ring.PushBack(Item{s, static_cast<int>(s)});
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(LiveSeqs(ring), (std::vector<Seq>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(ring.Erase(2));   // middle hole
+  EXPECT_FALSE(ring.Erase(2));  // already gone
+  EXPECT_EQ(LiveSeqs(ring), (std::vector<Seq>{0, 1, 3, 4}));
+  EXPECT_TRUE(ring.Erase(0));  // head trim
+  EXPECT_TRUE(ring.Erase(4));  // tail trim
+  EXPECT_EQ(LiveSeqs(ring), (std::vector<Seq>{1, 3}));
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(SeqRing, GrowsWithHolesPreservingOrder) {
+  SeqRing<Item> ring;
+  Seq next = 0;
+  std::vector<Seq> live;
+  Rng rng(7);
+  for (int op = 0; op < 20'000; ++op) {
+    if (live.empty() || rng.Chance(0.6)) {
+      ring.PushBack(Item{next, 0});
+      live.push_back(next);
+      ++next;
+    } else {
+      // Mostly FIFO (acks), occasionally out of order (expiry purge).
+      const std::size_t pick =
+          rng.Chance(0.8) ? 0
+                          : static_cast<std::size_t>(rng.UniformInt(
+                                0, static_cast<int64_t>(live.size()) - 1));
+      EXPECT_TRUE(ring.Erase(live[pick]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(ring.size(), live.size());
+  }
+  EXPECT_EQ(LiveSeqs(ring), live);
+}
+
+TEST(SeqRing, EraseUnknownSeqIsNoop) {
+  SeqRing<Item> ring;
+  ring.PushBack(Item{1, 0});
+  EXPECT_FALSE(ring.Erase(99));
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -112,6 +112,146 @@ TEST(SpscQueue, TwoThreadStressPreservesSequence) {
   EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
 }
 
+TEST(SpscQueueBurst, PushBurstEnqueuesPrefixWhenNearlyFull) {
+  SpscQueue<int> q(4);
+  ASSERT_TRUE(q.TryPush(0));
+  const std::vector<int> items{1, 2, 3, 4, 5};
+  EXPECT_EQ(q.PushBurst(items), 3u);  // only 3 slots free
+  EXPECT_EQ(q.FreeApprox(), 0u);
+  for (int want = 0; want <= 3; ++want) {
+    int v = -1;
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
+TEST(SpscQueueBurst, PushBurstWrapsAroundCorrectly) {
+  SpscQueue<int> q(8);
+  int v;
+  // Advance the indices so a burst must wrap the ring edge.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.TryPush(i));
+    ASSERT_TRUE(q.TryPop(&v));
+  }
+  std::vector<int> items(8);
+  for (int i = 0; i < 8; ++i) items[static_cast<size_t>(i)] = 100 + i;
+  EXPECT_EQ(q.PushBurst(items), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, 100 + i);
+  }
+}
+
+TEST(SpscQueueBurst, PeekBurstExposesContiguousRuns) {
+  SpscQueue<int> q(8);
+  int v;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.TryPush(i));
+    ASSERT_TRUE(q.TryPop(&v));
+  }
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.TryPush(i));
+  int* first = nullptr;
+  const std::size_t run1 = q.PeekBurst(&first);
+  ASSERT_GT(run1, 0u);
+  ASSERT_LE(run1, 8u);
+  for (std::size_t i = 0; i < run1; ++i) EXPECT_EQ(first[i], static_cast<int>(i));
+  q.ConsumeBurst(run1);
+  if (run1 < 8) {  // wrapped: remainder surfaces as a second run
+    const std::size_t run2 = q.PeekBurst(&first);
+    EXPECT_EQ(run1 + run2, 8u);
+    for (std::size_t i = 0; i < run2; ++i) {
+      EXPECT_EQ(first[i], static_cast<int>(run1 + i));
+    }
+    q.ConsumeBurst(run2);
+  }
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
+TEST(SpscQueueBurst, ConsumeBurstPartialLeavesRest) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(i));
+  int* first = nullptr;
+  ASSERT_EQ(q.PeekBurst(&first), 5u);
+  q.ConsumeBurst(2);
+  EXPECT_EQ(q.SizeApprox(), 3u);
+  int v;
+  ASSERT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(SpscQueueBurst, PopBurstDrainsAcrossWrap) {
+  SpscQueue<int> q(8);
+  int v;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.TryPush(i));
+    ASSERT_TRUE(q.TryPop(&v));
+  }
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(q.TryPush(i));
+  int out[8] = {};
+  EXPECT_EQ(q.PopBurst(out, 8), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
+// Two-thread stress mixing burst and single-message APIs on both sides:
+// FIFO order and zero loss must hold under contention, including across
+// ring-edge wraps (capacity deliberately small and not a divisor of the
+// burst sizes).
+TEST(SpscQueueBurst, TwoThreadBurstStressPreservesSequence) {
+  constexpr uint64_t kCount = 1'000'000;
+  SpscQueue<uint64_t> q(256);
+  std::thread producer([&q] {
+    uint64_t next = 0;
+    uint64_t burst[37];
+    int mode = 0;
+    while (next < kCount) {
+      if (mode++ % 3 == 0) {  // single-message path
+        while (!q.TryPush(next)) std::this_thread::yield();
+        ++next;
+        continue;
+      }
+      std::size_t n = 0;
+      while (n < 37 && next + n < kCount) {
+        burst[n] = next + n;
+        ++n;
+      }
+      std::size_t pushed = 0;
+      while (pushed < n) {
+        pushed += q.TryPushBurst(burst + pushed, n - pushed);
+        if (pushed < n) std::this_thread::yield();
+      }
+      next += n;
+    }
+  });
+
+  uint64_t expected = 0;
+  int mode = 0;
+  while (expected < kCount) {
+    if (mode++ % 3 == 0) {
+      uint64_t v;
+      if (q.TryPop(&v)) {
+        ASSERT_EQ(v, expected);
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    uint64_t* first = nullptr;
+    const std::size_t n = q.PeekBurst(&first);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(first[i], expected + i);
+    q.ConsumeBurst(n);
+    expected += n;
+  }
+  producer.join();
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
 TEST(StagedChannel, NullQueueDiscards) {
   StagedChannel<int> chan(nullptr);
   EXPECT_FALSE(chan.connected());
@@ -155,6 +295,45 @@ TEST(StagedChannel, AvailableRespectsSlack) {
   chan.Push(1);
   EXPECT_TRUE(chan.Available(7));
   EXPECT_FALSE(chan.Available(8));
+}
+
+TEST(StagedChannel, PushBurstStagesOverflow) {
+  SpscQueue<int> q(4);
+  StagedChannel<int> chan(&q);
+  std::vector<int> msgs{0, 1, 2, 3, 4, 5};
+  chan.PushBurst(msgs);
+  EXPECT_EQ(q.SizeApprox(), 4u);
+  EXPECT_EQ(chan.staged(), 2u);
+
+  std::vector<int> seen;
+  int v;
+  while (true) {
+    while (q.TryPop(&v)) seen.push_back(v);
+    if (!chan.Drain()) break;
+  }
+  while (q.TryPop(&v)) seen.push_back(v);
+  ASSERT_EQ(seen.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(StagedChannel, PushBurstBehindStagedKeepsOrder) {
+  SpscQueue<int> q(2);
+  StagedChannel<int> chan(&q);
+  chan.Push(0);
+  chan.Push(1);
+  chan.Push(2);  // staged
+  std::vector<int> more{3, 4};
+  chan.PushBurst(more);  // must stage behind 2, not jump the queue
+  EXPECT_EQ(chan.staged(), 3u);
+  std::vector<int> seen;
+  int v;
+  for (int round = 0; round < 8; ++round) {
+    while (q.TryPop(&v)) seen.push_back(v);
+    chan.Drain();
+  }
+  while (q.TryPop(&v)) seen.push_back(v);
+  ASSERT_EQ(seen.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
 }
 
 TEST(StagedChannel, OrderPreservedAcrossStageBoundary) {
