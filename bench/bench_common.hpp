@@ -275,17 +275,27 @@ class JsonRow {
 /// measured configuration is emitted as one JSON line, prefixed "JSON " on
 /// stdout (greppable next to the human tables) and appended verbatim to
 /// --json_out=PATH when given — the format of the repo's BENCH_*.json
-/// trajectory files.
+/// trajectory files. --host_tag=NAME and --stamp=WHEN (set by
+/// bench/run_trajectory.sh) tag every row, so rows appended across PRs and
+/// machines stay distinguishable.
 class JsonEmitter {
  public:
   JsonEmitter(const Flags& flags, const std::string& bench)
-      : bench_(bench), path_(flags.Str("json_out", "")) {}
+      : bench_(bench),
+        path_(flags.Str("json_out", "")),
+        host_(flags.Str("host_tag", "")),
+        stamp_(flags.Str("stamp", "")) {}
 
   void Emit(const JsonRow& row) {
+    JsonRow head_row;  // JsonRow::Str escapes quotes/backslashes in the tags
+    head_row.Str("bench", bench_);
+    if (!host_.empty()) head_row.Str("host", host_);
+    if (!stamp_.empty()) head_row.Str("stamp", stamp_);
+    const std::string head = head_row.Render();  // "{...}"
     const std::string body = row.Render();
     const std::string line =
-        body == "{}" ? "{\"bench\":\"" + bench_ + "\"}"
-                     : "{\"bench\":\"" + bench_ + "\"," + body.substr(1);
+        body == "{}" ? head
+                     : head.substr(0, head.size() - 1) + "," + body.substr(1);
     std::printf("JSON %s\n", line.c_str());
     if (!path_.empty()) {
       std::FILE* f = std::fopen(path_.c_str(), "a");
@@ -299,6 +309,8 @@ class JsonEmitter {
  private:
   std::string bench_;
   std::string path_;
+  std::string host_;
+  std::string stamp_;
 };
 
 /// Standard latency/throughput fields of a RunStats, for JSON rows.

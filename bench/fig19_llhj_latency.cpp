@@ -6,9 +6,16 @@
 // 30 ms, insensitive to the window configuration — three orders of
 // magnitude below Figure 5 — dominated by the driver's batching delay
 // (batch 64 at rate 2λ fills every 64/(2 λ) seconds).
+// Additionally benchmarks the session Push API on the same workload: the
+// batch-first PushR/PushS(span) overloads against the per-tuple loop
+// (config "push_tuple" vs "push_batch"), at maximum rate against
+// backpressure. The redesign's bar: batch ingestion must be no slower.
 #include <cstdio>
+#include <span>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "core/join_session.hpp"
 
 using namespace sjoin;
 using namespace sjoin::bench;
@@ -47,6 +54,85 @@ void RunConfig(const char* label, double wr_s, double ws_s, double rate,
   json->Emit(StatsFields(row, stats));
 }
 
+/// Drives the fig19 workload (band join, time windows) through the
+/// JoinSession Push API at max rate; `batched` selects span vs per-tuple
+/// ingestion. Event time advances at the paced rate, so the live window
+/// matches the paced experiment; wall time measures ingestion throughput.
+void RunPushApi(bool batched, double window_s, double rate, int nodes,
+                int batch, int64_t tuples, uint64_t seed, JsonEmitter* json) {
+  JoinConfig config;
+  config.algorithm = Algorithm::kLowLatency;
+  config.parallelism = nodes;
+  config.window_r = WindowSpec::Time(static_cast<int64_t>(window_s * 1e6));
+  config.window_s = WindowSpec::Time(static_cast<int64_t>(window_s * 1e6));
+  config.threaded = true;
+
+  CountingHandler<RTuple, STuple> counter;
+  LatencyRecorder<RTuple, STuple> latency(&counter);
+  JoinSession<RTuple, STuple, BandPredicate> session(config);
+  session.AddQuery(BandPredicate{}, &latency);
+
+  // Pre-generate the streams so generation cost stays out of the loop.
+  Rng rng(seed);
+  std::vector<RTuple> rs;
+  std::vector<STuple> ss;
+  std::vector<Timestamp> ts_r;
+  std::vector<Timestamp> ts_s;
+  const int64_t period = static_cast<int64_t>(1e6 / (2.0 * rate) + 0.5);
+  Timestamp ts = 0;
+  for (int64_t i = 0; i < tuples; ++i) {
+    rs.push_back(MakeBandR(rng));
+    ts_r.push_back(ts);
+    ts += period;
+    ss.push_back(MakeBandS(rng));
+    ts_s.push_back(ts);
+    ts += period;
+  }
+
+  // Both modes feed the identical stream — alternating chunks of R and S —
+  // so their result sets are comparable; only the ingestion API differs.
+  const std::size_t chunk = static_cast<std::size_t>(batch);
+  const int64_t start = NowNs();
+  for (std::size_t i = 0; i < rs.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, rs.size() - i);
+    if (batched) {
+      session.PushR(std::span<const RTuple>(rs.data() + i, n),
+                    std::span<const Timestamp>(ts_r.data() + i, n));
+      session.PushS(std::span<const STuple>(ss.data() + i, n),
+                    std::span<const Timestamp>(ts_s.data() + i, n));
+    } else {
+      for (std::size_t k = 0; k < n; ++k) session.PushR(rs[i + k], ts_r[i + k]);
+      for (std::size_t k = 0; k < n; ++k) session.PushS(ss[i + k], ts_s[i + k]);
+    }
+    session.Poll();
+  }
+  session.FinishInput();
+  const int64_t end = NowNs();
+  session.Stop();
+
+  const double wall_s = NsToSec(end - start);
+  const double tput = static_cast<double>(tuples) / wall_s;
+  std::printf("push_%s: %lld tuples/stream in %.3f s -> %.0f tuples/s/stream"
+              " (%llu results, drain latency avg %.3f ms)\n",
+              batched ? "batch" : "tuple", static_cast<long long>(tuples),
+              wall_s, tput,
+              static_cast<unsigned long long>(session.results_collected()),
+              latency.overall().mean());
+  JsonRow row;
+  row.Str("config", batched ? "push_batch" : "push_tuple")
+      .Num("window_s", window_s)
+      .Int("nodes", nodes)
+      .Int("batch", batch)
+      .Int("tuples_per_stream", tuples)
+      .Num("wall_s", wall_s)
+      .Num("tput_per_stream", tput)
+      .Num("latency_avg_ms", latency.overall().mean())
+      .Num("latency_max_ms", latency.overall().max())
+      .Int("results", static_cast<int64_t>(session.results_collected()))
+      .Int("anomalies", static_cast<int64_t>(session.pipeline_anomalies()));
+  json->Emit(row);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,5 +155,17 @@ int main(int argc, char** argv) {
             &json);
   RunConfig("b", window_s / 2, window_s, rate, nodes, batch, duration, seed,
             &json);
+
+  // Session Push API on the same workload: batch-first spans vs the
+  // per-tuple loop, max rate (batch ingestion must be no slower).
+  // --push_batch is the span/chunk size, independent of the feeder batch.
+  const int64_t push_tuples = flags.Int("push_tuples", 20'000);
+  const int push_batch = static_cast<int>(flags.Int("push_batch", 64));
+  std::printf("\n-- Push API (max rate, window %.0f s, chunk %d) --\n",
+              window_s, push_batch);
+  RunPushApi(/*batched=*/false, window_s, rate, nodes, push_batch,
+             push_tuples, seed, &json);
+  RunPushApi(/*batched=*/true, window_s, rate, nodes, push_batch,
+             push_tuples, seed, &json);
   return 0;
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Bench trajectory automation (ROADMAP): re-runs the tracked benchmarks and
+# appends host-tagged JSON rows to the repo's BENCH_*.json files, so
+# performance regressions stay visible across PRs.
+#
+#   bench/run_trajectory.sh [build_dir]
+#
+# Tracked:
+#   micro_runtime        -> BENCH_MICRO_RUNTIME.json   (google-benchmark
+#                           snapshot; regenerated in place when the binary
+#                           exists — the gbench JSON format is one document,
+#                           not appendable rows)
+#   fig17_throughput     -> BENCH_FIG17_THROUGHPUT.json      (appended)
+#   fig19_llhj_latency   -> BENCH_FIG19_LLHJ_LATENCY.json    (appended)
+#   ablation_multi_query -> BENCH_ABLATION_MULTI_QUERY.json  (appended)
+#
+# Row tags: every appended row carries "host" and "stamp" fields (see
+# JsonEmitter in bench/bench_common.hpp). Override the sizing knobs through
+# the environment, e.g. DURATION=20 NODES=4 bench/run_trajectory.sh.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+HOST_TAG="${HOST_TAG:-$(hostname)-$(nproc)c}"
+STAMP="${STAMP:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
+
+# Sizing knobs (defaults match the committed trajectory rows; scale up on
+# bigger hosts).
+DURATION="${DURATION:-6}"
+NODES="${NODES:-2}"
+RATE="${RATE:-3000}"
+PUSH_TUPLES="${PUSH_TUPLES:-20000}"
+MQ_TUPLES="${MQ_TUPLES:-20000}"
+
+TAGS=(--host_tag="$HOST_TAG" --stamp="$STAMP")
+
+run() {
+  local bin="$1"
+  shift
+  if [[ ! -x "$BUILD/$bin" ]]; then
+    echo "SKIP $bin (not built in $BUILD)"
+    return 0
+  fi
+  echo "== $bin $*"
+  "$BUILD/$bin" "$@"
+}
+
+# google-benchmark microbenches: one JSON document per run, regenerated.
+if [[ -x "$BUILD/micro_runtime" ]]; then
+  echo "== micro_runtime"
+  "$BUILD/micro_runtime" --benchmark_out="$ROOT/BENCH_MICRO_RUNTIME.json" \
+    --benchmark_out_format=json
+else
+  echo "SKIP micro_runtime (google-benchmark not available at configure time)"
+fi
+
+FIG17_NODES="${FIG17_NODES:-1,2,4}"  # fig17 sweeps a node-count list
+FIG17_DURATION="${FIG17_DURATION:-2}"
+run fig17_throughput --duration="$FIG17_DURATION" --nodes="$FIG17_NODES" \
+  --json_out="$ROOT/BENCH_FIG17_THROUGHPUT.json" "${TAGS[@]}"
+
+FIG19_BATCH="${FIG19_BATCH:-1}"  # matches the existing trajectory rows
+run fig19_llhj_latency --duration="$DURATION" --nodes="$NODES" \
+  --rate="$RATE" --batch="$FIG19_BATCH" --push_tuples="$PUSH_TUPLES" \
+  --json_out="$ROOT/BENCH_FIG19_LLHJ_LATENCY.json" "${TAGS[@]}"
+
+run ablation_multi_query --tuples="$MQ_TUPLES" --nodes="$NODES" \
+  --json_out="$ROOT/BENCH_ABLATION_MULTI_QUERY.json" "${TAGS[@]}"
+
+echo "trajectory updated: host=$HOST_TAG stamp=$STAMP"

@@ -20,6 +20,12 @@ using Seq = uint64_t;
 /// Index of a processing node within a join pipeline (0 = leftmost).
 using NodeId = int32_t;
 
+/// Identifier of a registered query within a JoinSession. A session can
+/// evaluate several predicates per window crossing; every result carries the
+/// id of the query that produced it so the collector can route it to that
+/// query's sink. Assigned densely from 0 in registration order.
+using QueryId = uint32_t;
+
 inline constexpr Timestamp kMinTimestamp =
     std::numeric_limits<Timestamp>::min();
 inline constexpr Timestamp kMaxTimestamp =

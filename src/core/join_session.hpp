@@ -1,0 +1,780 @@
+// Multi-query, batch-first session API — the public operator of this
+// library. One JoinSession owns the complete operator state: the external
+// driver (window bookkeeping, expiry generation), the join engine, the
+// transport channels and the result collector. N queries (predicates of one
+// type, e.g. band predicates with different bounds) share all of it:
+//
+//   JoinConfig config;
+//   config.algorithm = Algorithm::kLowLatency;
+//   config.window_r = WindowSpec::Time(5'000'000);
+//   config.window_s = WindowSpec::Time(5'000'000);
+//   JoinSession<RTuple, STuple, BandPredicate> session(config);
+//   auto q0 = session.AddQuery(BandPredicate{10, 10.f}, &tight_handler);
+//   auto q1 = session.AddQuery(BandPredicate{50, 50.f}, &wide_handler);
+//   session.PushR(r, ts);                  // per-tuple ingestion
+//   session.PushR(std::span(rs), std::span(tss));  // batch-first ingestion
+//   session.Poll();
+//   session.FinishInput();
+//
+// Every window crossing evaluates all registered predicates in a single
+// store traversal; each result is tagged with the QueryId that produced it
+// and routed to that query's handler (punctuations broadcast to all).
+// Transport and window maintenance — the dominant hot-path costs (paper
+// Section 7) — are therefore paid once per tuple, not once per query.
+//
+// Rules:
+//  * All queries must be registered before the first Push; AddQuery after
+//    ingestion has started throws.
+//  * Timestamps must be non-decreasing across both Push sides (stream
+//    order); batch pushes are equivalent to the per-tuple loop over their
+//    span, and a batch is ordered internally by span index.
+//  * Baseline engines (Kang, CellJoin) support multi-query through a union
+//    predicate plus per-match fan-out at the sink — same semantics, no
+//    shared-traversal speedup (they exist as oracles, not deployments).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/cell_join.hpp"
+#include "baseline/kang_join.hpp"
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "hsj/hsj_pipeline.hpp"
+#include "llhj/home_policy.hpp"
+#include "llhj/llhj_pipeline.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/executor.hpp"
+#include "stream/collector.hpp"
+#include "stream/handlers.hpp"
+#include "stream/message.hpp"
+#include "stream/ports.hpp"
+#include "stream/query_set.hpp"
+#include "stream/script.hpp"
+#include "stream/window.hpp"
+
+namespace sjoin {
+
+/// The four join engines of this library.
+enum class Algorithm : uint8_t {
+  kKang,        ///< sequential three-step procedure (Section 2.1)
+  kCellJoin,    ///< parallel window scan (Section 2.2.1)
+  kHandshake,   ///< original handshake join (Section 2.3)
+  kLowLatency,  ///< low-latency handshake join (Section 4)
+};
+
+constexpr const char* ToString(Algorithm a) {
+  switch (a) {
+    case Algorithm::kKang:
+      return "kang";
+    case Algorithm::kCellJoin:
+      return "celljoin";
+    case Algorithm::kHandshake:
+      return "handshake";
+    case Algorithm::kLowLatency:
+      return "llhj";
+  }
+  return "?";
+}
+
+struct JoinConfig {
+  Algorithm algorithm = Algorithm::kLowLatency;
+
+  /// Pipeline nodes (HSJ/LLHJ) or scan threads (CellJoin: parallelism - 1
+  /// workers next to the caller thread). Must be >= 1.
+  int parallelism = 4;
+
+  WindowSpec window_r = WindowSpec::Count(1024);
+  WindowSpec window_s = WindowSpec::Count(1024);
+
+  /// Pipeline tuning. Capacities must be non-zero.
+  std::size_t channel_capacity = 1024;
+  std::size_t result_capacity = 1 << 16;
+  int msgs_per_step = 8;
+  HomePolicy home_policy = HomePolicy::kRoundRobin;
+
+  /// Emit punctuations into the output stream (LLHJ only, Section 6).
+  bool punctuate = false;
+
+  /// Run pipeline nodes on their own pinned threads. When false, the
+  /// pipeline advances inside Push/Poll on the caller's thread
+  /// (deterministic; useful for tests and small workloads).
+  bool threaded = true;
+
+  /// HSJ only: expected window size in tuples used to derive the per-node
+  /// segment capacity. Required (> 0) when either window is time-based —
+  /// it must be a *lower* estimate of the live window (smaller segments
+  /// mean more relocation, which is always correct; larger ones strand
+  /// tuples). Ignored for count windows.
+  int64_t hsj_window_tuples_hint = 0;
+};
+
+/// Rejects configurations that would misbehave silently. Throws
+/// std::invalid_argument with a message naming the offending field.
+inline void ValidateJoinConfig(const JoinConfig& config) {
+  if (config.parallelism < 1) {
+    throw std::invalid_argument(
+        "JoinConfig: parallelism must be >= 1, got " +
+        std::to_string(config.parallelism));
+  }
+  if (config.channel_capacity == 0) {
+    throw std::invalid_argument(
+        "JoinConfig: channel_capacity must be > 0 (bounded channels provide "
+        "the backpressure; zero would make every push undeliverable)");
+  }
+  if (config.result_capacity == 0) {
+    throw std::invalid_argument("JoinConfig: result_capacity must be > 0");
+  }
+  if (config.msgs_per_step < 1) {
+    throw std::invalid_argument(
+        "JoinConfig: msgs_per_step must be >= 1, got " +
+        std::to_string(config.msgs_per_step));
+  }
+  if (config.algorithm == Algorithm::kHandshake &&
+      (config.window_r.is_time() || config.window_s.is_time()) &&
+      config.hsj_window_tuples_hint <= 0) {
+    throw std::invalid_argument(
+        "JoinConfig: a handshake join over time windows requires "
+        "hsj_window_tuples_hint (> 0), a lower estimate of the live window "
+        "in tuples, to size the per-node segments");
+  }
+}
+
+template <typename R, typename S, typename Pred>
+class JoinSession {
+ public:
+  /// Identifies a registered query; results of query `id` are routed to the
+  /// handler passed to the AddQuery call that returned this handle.
+  struct QueryHandle {
+    QueryId id = 0;
+  };
+
+  explicit JoinSession(const JoinConfig& config)
+      : config_(config), tracker_(config.window_r, config.window_s) {
+    ValidateJoinConfig(config_);
+  }
+
+  ~JoinSession() { Stop(); }
+
+  JoinSession(const JoinSession&) = delete;
+  JoinSession& operator=(const JoinSession&) = delete;
+
+  /// Registers a query: `pred` is evaluated at every window crossing,
+  /// matches are delivered to `handler` (null = count only). Must be called
+  /// before the first Push; the set is frozen once ingestion starts.
+  QueryHandle AddQuery(Pred pred, OutputHandler<R, S>* handler) {
+    if (started_) {
+      throw std::logic_error(
+          "JoinSession: AddQuery after ingestion started; register all "
+          "queries before the first Push");
+    }
+    const QueryId id = queries_.Add(pred);
+    router_.Register(handler);
+    return QueryHandle{id};
+  }
+
+  std::size_t query_count() const { return queries_.size(); }
+
+  // -- Per-tuple ingestion ---------------------------------------------------
+
+  void PushR(const R& r, Timestamp ts) {
+    EnsureStarted();
+    ts = Monotonic(ts);
+    EmitTimeExpiries(ts);
+    DriverEvent<R, S> event;
+    event.op = DriverOp::kArriveR;
+    event.seq = r_seq_++;
+    event.ts = ts;
+    event.r = r;
+    Dispatch(event);
+    EmitCountExpiry(StreamSide::kR, event.seq, ts);
+    DrainIfSynchronous();
+  }
+
+  void PushS(const S& s, Timestamp ts) {
+    EnsureStarted();
+    ts = Monotonic(ts);
+    EmitTimeExpiries(ts);
+    DriverEvent<R, S> event;
+    event.op = DriverOp::kArriveS;
+    event.seq = s_seq_++;
+    event.ts = ts;
+    event.s = s;
+    Dispatch(event);
+    EmitCountExpiry(StreamSide::kS, event.seq, ts);
+    DrainIfSynchronous();
+  }
+
+  // -- Batch-first ingestion -------------------------------------------------
+  //
+  // Semantically identical to the per-tuple loop over the spans, but whole
+  // arrival runs are staged as FlowMsgs and handed to the pipeline's burst
+  // transport in one blocking burst push — one channel index update per
+  // run instead of per tuple, and the nodes' batch-aware matching then
+  // probes the run against each window store in a single pass. Window
+  // expiries triggered inside the span are staged *into* the same flow at
+  // their exact position, so flow order (the correctness anchor of both
+  // handshake protocols) is preserved.
+
+  void PushR(std::span<const R> rs, std::span<const Timestamp> tss) {
+    if (rs.size() != tss.size()) {
+      throw std::invalid_argument(
+          "JoinSession::PushR: tuple and timestamp spans differ in size");
+    }
+    EnsureStarted();
+    if (!Pipelined()) {  // baseline engines: synchronous, nothing to batch
+      for (std::size_t i = 0; i < rs.size(); ++i) PushR(rs[i], tss[i]);
+      return;
+    }
+    batch_side_ = StreamSide::kR;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const Timestamp ts = Monotonic(tss[i]);
+      StageTimeExpiries(ts);
+      FlowMsg<R> msg;
+      msg.kind = MsgKind::kArrival;
+      msg.seq = r_seq_++;
+      msg.ts = ts;
+      msg.arrival_wall_ns = NowNs();
+      msg.payload = rs[i];
+      left_stage_.push_back(msg);
+      StageCountExpiry(StreamSide::kR, msg.seq, ts);
+    }
+    FlushStages();
+    DrainIfSynchronous();
+  }
+
+  void PushS(std::span<const S> ss, std::span<const Timestamp> tss) {
+    if (ss.size() != tss.size()) {
+      throw std::invalid_argument(
+          "JoinSession::PushS: tuple and timestamp spans differ in size");
+    }
+    EnsureStarted();
+    if (!Pipelined()) {
+      for (std::size_t i = 0; i < ss.size(); ++i) PushS(ss[i], tss[i]);
+      return;
+    }
+    batch_side_ = StreamSide::kS;
+    for (std::size_t i = 0; i < ss.size(); ++i) {
+      const Timestamp ts = Monotonic(tss[i]);
+      StageTimeExpiries(ts);
+      FlowMsg<S> msg;
+      msg.kind = MsgKind::kArrival;
+      msg.seq = s_seq_++;
+      msg.ts = ts;
+      msg.arrival_wall_ns = NowNs();
+      msg.payload = ss[i];
+      right_stage_.push_back(msg);
+      StageCountExpiry(StreamSide::kS, msg.seq, ts);
+    }
+    FlushStages();
+    DrainIfSynchronous();
+  }
+
+  // -- Output ----------------------------------------------------------------
+
+  /// Delivers pending results (and punctuations) to the per-query handlers.
+  /// For non-threaded pipelines this also advances the pipeline.
+  void Poll() {
+    if (collector_ == nullptr) return;  // Kang/Cell deliver synchronously
+    if (!config_.threaded) sequential_.RunUntilQuiescent();
+    collector_->VacuumOnce();
+  }
+
+  /// Ends the input: flushes the handshake-join pipeline (so pairs still
+  /// separated inside it meet) and drains everything to the handlers.
+  void FinishInput() {
+    if (!started_ || finished_) return;
+    finished_ = true;
+    if (hsj_ != nullptr) {
+      DriverEvent<R, S> flush_r;
+      flush_r.op = DriverOp::kFlushR;
+      Dispatch(flush_r);
+      DriverEvent<R, S> flush_s;
+      flush_s.op = DriverOp::kFlushS;
+      Dispatch(flush_s);
+    }
+    if (collector_ == nullptr) return;
+    if (!config_.threaded) {
+      sequential_.RunUntilQuiescent();
+      collector_->VacuumOnce();
+      return;
+    }
+    WaitQuiescentThreaded();
+  }
+
+  void Stop() {
+    if (executor_ != nullptr) executor_->Stop();
+    if (collector_ != nullptr) collector_->VacuumOnce();
+  }
+
+  // -- Introspection ---------------------------------------------------------
+
+  uint64_t results_collected() const {
+    return collector_ != nullptr ? collector_->total_collected()
+                                 : router_.total_collected();
+  }
+
+  /// Results routed to query `q` so far (any engine).
+  uint64_t results_collected(QueryId q) const { return router_.collected(q); }
+
+  Algorithm algorithm() const { return config_.algorithm; }
+  const JoinConfig& config() const { return config_; }
+  const QuerySet<Pred>& queries() const { return queries_; }
+  bool started() const { return started_; }
+
+  /// Diagnostics for tests: anomaly counters (and misrouted results) must
+  /// stay zero.
+  uint64_t pipeline_anomalies() const {
+    uint64_t n = router_.misrouted();
+    if (hsj_ != nullptr) n += hsj_->total_anomalies();
+    if (llhj_ != nullptr) n += llhj_->total_anomalies();
+    return n;
+  }
+
+ private:
+  /// Baseline engines evaluate the union of all registered predicates while
+  /// scanning; the sink then fans each match out to the queries that
+  /// actually satisfied it (per-query re-evaluation only on the hit path).
+  struct UnionPred {
+    const QuerySet<Pred>* queries = nullptr;
+    bool operator()(const R& r, const S& s) const {
+      return queries->AnyMatch(r, s);
+    }
+  };
+
+  struct FanOutSink {
+    QueryRouter<R, S>* router = nullptr;
+    const QuerySet<Pred>* queries = nullptr;
+    void Emit(const ResultMsg<R, S>& m) {
+      queries->Match(m.r, m.s, [&](QueryId q) {
+        ResultMsg<R, S> tagged = m;
+        tagged.query = q;
+        router->OnResult(tagged);
+      });
+    }
+  };
+
+  bool Pipelined() const { return hsj_ != nullptr || llhj_ != nullptr; }
+
+  /// Builds the engine on the first Push; the query set is frozen here.
+  void EnsureStarted() {
+    if (started_) return;
+    if (queries_.empty()) {
+      throw std::logic_error(
+          "JoinSession: no queries registered; call AddQuery before pushing");
+    }
+    started_ = true;
+    switch (config_.algorithm) {
+      case Algorithm::kKang:
+        fan_out_ = FanOutSink{&router_, &queries_};
+        kang_ = std::make_unique<KangJoin<R, S, UnionPred, FanOutSink>>(
+            &fan_out_, UnionPred{&queries_});
+        break;
+      case Algorithm::kCellJoin: {
+        fan_out_ = FanOutSink{&router_, &queries_};
+        typename CellJoin<R, S, UnionPred, FanOutSink>::Options options;
+        options.workers = config_.parallelism - 1;
+        cell_ = std::make_unique<CellJoin<R, S, UnionPred, FanOutSink>>(
+            &fan_out_, UnionPred{&queries_}, options);
+        break;
+      }
+      case Algorithm::kHandshake: {
+        typename HsjPipeline<R, S, Pred>::Options options;
+        options.nodes = config_.parallelism;
+        options.result_capacity = config_.result_capacity;
+        options.msgs_per_step = config_.msgs_per_step;
+        const int64_t window_tuples = HsjWindowTuples();
+        // Segments self-balance (capacity 0), adapting to the live window.
+        // HSJ correctness requires the driver's lead over the pipeline to
+        // stay well below the window (DESIGN.md, bounded-lag regime): cap
+        // the entry channels, and additionally gate pushes on the total
+        // pipeline backlog (see Dispatch) since thread starvation can build
+        // backlog in interior channels too.
+        options.channel_capacity = std::min<std::size_t>(
+            config_.channel_capacity,
+            std::max<std::size_t>(
+                8, static_cast<std::size_t>(window_tuples / 4)));
+        hsj_lag_budget_ = std::max<std::size_t>(
+            16, static_cast<std::size_t>(window_tuples / 2));
+        hsj_ = std::make_unique<HsjPipeline<R, S, Pred>>(options, queries_);
+        collector_ = hsj_->MakeCollector(&router_);
+        SetUpExecutor(hsj_->nodes());
+        break;
+      }
+      case Algorithm::kLowLatency: {
+        typename LlhjPipeline<R, S, Pred>::Options options;
+        options.nodes = config_.parallelism;
+        options.channel_capacity = config_.channel_capacity;
+        options.result_capacity = config_.result_capacity;
+        options.msgs_per_step = config_.msgs_per_step;
+        options.home_policy = config_.home_policy;
+        options.punctuate = config_.punctuate;
+        llhj_ = std::make_unique<LlhjPipeline<R, S, Pred>>(options, queries_);
+        collector_ = llhj_->MakeCollector(&router_);
+        SetUpExecutor(llhj_->nodes());
+        break;
+      }
+    }
+  }
+
+  int64_t HsjWindowTuples() const {
+    // Count windows state their size directly; time windows require the
+    // caller's hint (enforced by ValidateJoinConfig).
+    if (config_.window_r.is_count() && config_.window_s.is_count()) {
+      return std::max<int64_t>(config_.window_r.size, config_.window_s.size);
+    }
+    return config_.hsj_window_tuples_hint;
+  }
+
+  void SetUpExecutor(std::vector<Steppable*> nodes) {
+    if (config_.threaded) {
+      executor_ = std::make_unique<ThreadedExecutor>();
+      for (Steppable* node : nodes) executor_->Add(node);
+      executor_->Start();
+    } else {
+      for (Steppable* node : nodes) sequential_.Add(node);
+    }
+  }
+
+  Timestamp Monotonic(Timestamp ts) {
+    if (ts < last_ts_) ts = last_ts_;
+    last_ts_ = ts;
+    return ts;
+  }
+
+  // -- Scalar driver path (identical to the classic StreamJoiner) -----------
+
+  void EmitTimeExpiries(Timestamp ts) {
+    StreamSide side;
+    Seq seq;
+    Timestamp expired_ts;
+    while (tracker_.PopTimeExpiry(ts, &side, &seq, &expired_ts)) {
+      DriverEvent<R, S> event;
+      event.op = side == StreamSide::kR ? DriverOp::kExpireR
+                                        : DriverOp::kExpireS;
+      event.seq = seq;
+      event.ts = expired_ts;
+      Dispatch(event);
+    }
+  }
+
+  void EmitCountExpiry(StreamSide side, Seq seq, Timestamp ts) {
+    Seq expired_seq;
+    Timestamp expired_ts;
+    if (tracker_.OnArrival(side, seq, ts, &expired_seq, &expired_ts)) {
+      DriverEvent<R, S> event;
+      event.op = side == StreamSide::kR ? DriverOp::kExpireR
+                                        : DriverOp::kExpireS;
+      event.seq = expired_seq;
+      event.ts = expired_ts;
+      Dispatch(event);
+    }
+  }
+
+  void Dispatch(const DriverEvent<R, S>& event) {
+    if (kang_ != nullptr) {
+      kang_->OnEvent(event);
+      return;
+    }
+    if (cell_ != nullptr) {
+      cell_->OnEvent(event);
+      return;
+    }
+    // Bounded-lag enforcement for the handshake join: do not let the driver
+    // run more than ~half a window ahead of the pipeline, wherever the
+    // backlog sits (entry or interior channels). Result queues are
+    // excluded — their occupancy is the application's polling cadence.
+    if (hsj_ != nullptr && config_.threaded) {
+      Backoff backoff;
+      while (hsj_->ApproxChannelBacklog() > hsj_lag_budget_) backoff.Pause();
+    }
+    PipelinePorts<R, S> ports =
+        hsj_ != nullptr ? hsj_->ports() : llhj_->ports();
+    switch (event.op) {
+      case DriverOp::kArriveR: {
+        FlowMsg<R> msg;
+        msg.kind = MsgKind::kArrival;
+        msg.seq = event.seq;
+        msg.ts = event.ts;
+        msg.arrival_wall_ns = NowNs();
+        msg.payload = event.r;
+        PushBlocking(ports.left, msg);
+        break;
+      }
+      case DriverOp::kArriveS: {
+        FlowMsg<S> msg;
+        msg.kind = MsgKind::kArrival;
+        msg.seq = event.seq;
+        msg.ts = event.ts;
+        msg.arrival_wall_ns = NowNs();
+        msg.payload = event.s;
+        PushBlocking(ports.right, msg);
+        break;
+      }
+      case DriverOp::kExpireR: {
+        WaitTupleCompleted(StreamSide::kR, event.seq);
+        FlowMsg<S> msg;
+        msg.kind = MsgKind::kExpiry;
+        msg.ref_side = StreamSide::kR;
+        msg.seq = event.seq;
+        msg.ts = event.ts;
+        PushBlocking(ports.right, msg);
+        break;
+      }
+      case DriverOp::kExpireS: {
+        WaitTupleCompleted(StreamSide::kS, event.seq);
+        FlowMsg<R> msg;
+        msg.kind = MsgKind::kExpiry;
+        msg.ref_side = StreamSide::kS;
+        msg.seq = event.seq;
+        msg.ts = event.ts;
+        PushBlocking(ports.left, msg);
+        break;
+      }
+      case DriverOp::kFlushR: {
+        FlowMsg<R> msg;
+        msg.kind = MsgKind::kFlush;
+        PushBlocking(ports.left, msg);
+        break;
+      }
+      case DriverOp::kFlushS: {
+        FlowMsg<S> msg;
+        msg.kind = MsgKind::kFlush;
+        PushBlocking(ports.right, msg);
+        break;
+      }
+    }
+  }
+
+  // -- Batch driver path -----------------------------------------------------
+
+  void StageTimeExpiries(Timestamp ts) {
+    StreamSide side;
+    Seq seq;
+    Timestamp expired_ts;
+    while (tracker_.PopTimeExpiry(ts, &side, &seq, &expired_ts)) {
+      StageExpiry(side, seq, expired_ts);
+    }
+  }
+
+  void StageCountExpiry(StreamSide side, Seq seq, Timestamp ts) {
+    Seq expired_seq;
+    Timestamp expired_ts;
+    if (tracker_.OnArrival(side, seq, ts, &expired_seq, &expired_ts)) {
+      StageExpiry(side, expired_seq, expired_ts);
+    }
+  }
+
+  /// LLHJ: expiries join the staged flow at their exact position — the
+  /// driver-side completion gate (see DeliverStage) replaces the scalar
+  /// WaitTupleCompleted. HSJ has no completion notion, so staged arrivals
+  /// are flushed first and the expiry takes the scalar bounded-lag path.
+  void StageExpiry(StreamSide expired_side, Seq seq, Timestamp ts) {
+    if (llhj_ != nullptr) {
+      if (expired_side == StreamSide::kR) {
+        FlowMsg<S> msg;
+        msg.kind = MsgKind::kExpiry;
+        msg.ref_side = StreamSide::kR;
+        msg.seq = seq;
+        msg.ts = ts;
+        right_stage_.push_back(msg);
+      } else {
+        FlowMsg<R> msg;
+        msg.kind = MsgKind::kExpiry;
+        msg.ref_side = StreamSide::kS;
+        msg.seq = seq;
+        msg.ts = ts;
+        left_stage_.push_back(msg);
+      }
+      return;
+    }
+    FlushStages();
+    DriverEvent<R, S> event;
+    event.op = expired_side == StreamSide::kR ? DriverOp::kExpireR
+                                              : DriverOp::kExpireS;
+    event.seq = seq;
+    event.ts = ts;
+    Dispatch(event);
+    // Non-threaded HSJ exactness holds for ANY window size only because the
+    // scalar path drains after every push — the driver never runs ahead of
+    // the pipeline when an expiry enters. Batch staging defers that drain,
+    // and the entry channels are floored at 8 slots, so a count window
+    // smaller than the floor would let the driver lead by a full window.
+    // Restore the scalar invariant at each expiry boundary.
+    DrainIfSynchronous();
+  }
+
+  /// Delivers both staged flows, arrival side first: an expiry staged in
+  /// the opposite flow may be gated on the completion of an arrival from
+  /// this very batch, so the arrivals must reach the pipeline first.
+  void FlushStages() {
+    PipelinePorts<R, S> ports =
+        hsj_ != nullptr ? hsj_->ports() : llhj_->ports();
+    if (batch_side_ == StreamSide::kR) {
+      DeliverStage(&left_stage_, ports.left);
+      DeliverStage(&right_stage_, ports.right);
+    } else {
+      DeliverStage(&right_stage_, ports.right);
+      DeliverStage(&left_stage_, ports.left);
+    }
+  }
+
+  /// Blocking burst delivery of one staged flow, preserving order. The
+  /// longest prefix up to the first gated expiry is handed to
+  /// SpscQueue::TryPushBurst; while the channel is full or the front expiry
+  /// is gated, the pipeline is advanced (threaded: it advances itself).
+  template <typename T>
+  void DeliverStage(std::vector<FlowMsg<T>>* stage,
+                    SpscQueue<FlowMsg<T>>* port) {
+    if (stage->empty()) return;
+    std::size_t head = 0;
+    Backoff backoff;
+    while (head < stage->size()) {
+      if (hsj_ != nullptr && config_.threaded) {
+        while (hsj_->ApproxChannelBacklog() > hsj_lag_budget_) {
+          backoff.Pause();
+        }
+      }
+      std::size_t run = stage->size() - head;
+      if (llhj_ != nullptr) {
+        // Longest deliverable prefix: stop at the first expiry whose tuple
+        // has not completed its expedition yet (messages behind a gated
+        // expiry wait with it — flow order preserved).
+        const HighWaterMarks& hwm = llhj_->hwm();
+        run = 0;
+        while (head + run < stage->size()) {
+          const FlowMsg<T>& m = (*stage)[head + run];
+          if (m.kind == MsgKind::kExpiry &&
+              hwm.CompletedSeq(m.ref_side) < static_cast<int64_t>(m.seq)) {
+            break;
+          }
+          ++run;
+        }
+      }
+      if (run == 0) {
+        AdvancePipeline(&backoff, "expiry gate");
+        continue;
+      }
+      const std::size_t pushed = port->TryPushBurst(stage->data() + head, run);
+      head += pushed;
+      if (pushed > 0) backoff.Reset();  // progress: restart the spin ladder
+      if (pushed < run) AdvancePipeline(&backoff, "full channel");
+    }
+    stage->clear();
+  }
+
+  /// Makes progress while batch delivery is blocked: threaded pipelines
+  /// advance on their own (back off); non-threaded ones are stepped here.
+  void AdvancePipeline(Backoff* backoff, const char* why) {
+    if (config_.threaded) {
+      backoff->Pause();
+      return;
+    }
+    if (!sequential_.StepOnce()) {
+      throw std::runtime_error(
+          std::string("pipeline stalled during batch ingestion (") + why +
+          ")");
+    }
+    if (collector_ != nullptr) collector_->VacuumOnce();
+  }
+
+  // -- Shared driver helpers -------------------------------------------------
+
+  /// Keeps the single-threaded pipeline fully drained between pushes so
+  /// the driver never runs ahead of it (exactness for any window size).
+  void DrainIfSynchronous() {
+    if (collector_ != nullptr && !config_.threaded) {
+      sequential_.RunUntilQuiescent();
+    }
+  }
+
+  /// LLHJ expiry gate (see Feeder::Options::expiry_gate): an expiry enters
+  /// the pipeline only after its tuple finished travelling.
+  void WaitTupleCompleted(StreamSide side, Seq seq) {
+    if (llhj_ == nullptr) return;
+    Backoff backoff;
+    while (llhj_->hwm().CompletedSeq(side) < static_cast<int64_t>(seq)) {
+      if (config_.threaded) {
+        backoff.Pause();
+      } else if (!sequential_.StepOnce()) {
+        throw std::runtime_error("pipeline stalled before tuple completion");
+      }
+    }
+  }
+
+  template <typename T>
+  void PushBlocking(SpscQueue<FlowMsg<T>>* queue, const FlowMsg<T>& msg) {
+    if (config_.threaded) {
+      Backoff backoff;
+      while (!queue->TryPush(msg)) backoff.Pause();
+      return;
+    }
+    while (!queue->TryPush(msg)) {
+      if (!sequential_.StepOnce()) {
+        throw std::runtime_error("pipeline stalled with full input queue");
+      }
+      if (collector_ != nullptr) collector_->VacuumOnce();
+    }
+  }
+
+  void WaitQuiescentThreaded() {
+    // Distributed quiescence: channel backlog empty, node progress counters
+    // stable, and nothing newly collected — several times in a row.
+    uint64_t last_processed = 0;
+    uint64_t last_collected = 0;
+    int stable_rounds = 0;
+    while (stable_rounds < 5) {
+      collector_->VacuumOnce();
+      const std::size_t backlog =
+          hsj_ != nullptr ? hsj_->ApproxBacklog() : llhj_->ApproxBacklog();
+      const uint64_t processed = hsj_ != nullptr ? hsj_->TotalProcessed()
+                                                 : llhj_->TotalProcessed();
+      const uint64_t collected = collector_->total_collected();
+      if (backlog == 0 && processed == last_processed &&
+          collected == last_collected) {
+        ++stable_rounds;
+      } else {
+        stable_rounds = 0;
+        last_processed = processed;
+        last_collected = collected;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  JoinConfig config_;
+  ExpiryTracker tracker_;
+  QuerySet<Pred> queries_;
+  QueryRouter<R, S> router_;
+  FanOutSink fan_out_;
+
+  Seq r_seq_ = 0;
+  Seq s_seq_ = 0;
+  Timestamp last_ts_ = kMinTimestamp;
+  bool started_ = false;
+  bool finished_ = false;
+  std::size_t hsj_lag_budget_ = 1 << 20;
+  StreamSide batch_side_ = StreamSide::kR;
+
+  // Staged flows of the batch-first ingestion path (reused across calls;
+  // always empty between calls).
+  std::vector<FlowMsg<R>> left_stage_;
+  std::vector<FlowMsg<S>> right_stage_;
+
+  std::unique_ptr<KangJoin<R, S, UnionPred, FanOutSink>> kang_;
+  std::unique_ptr<CellJoin<R, S, UnionPred, FanOutSink>> cell_;
+  std::unique_ptr<HsjPipeline<R, S, Pred>> hsj_;
+  std::unique_ptr<LlhjPipeline<R, S, Pred>> llhj_;
+  std::unique_ptr<Collector<R, S>> collector_;
+  std::unique_ptr<ThreadedExecutor> executor_;
+  SequentialExecutor sequential_;
+};
+
+}  // namespace sjoin

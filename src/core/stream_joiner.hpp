@@ -16,443 +16,72 @@
 //
 // Timestamps must be non-decreasing across both Push calls (stream order);
 // the driver semantics of DESIGN.md Section 3 define the output set.
+//
+// StreamJoiner is the single-query configuration of JoinSession (see
+// core/join_session.hpp): it owns a session with exactly one registered
+// query whose results go to `handler`. Use JoinSession directly to share
+// one pipeline, its windows and its transport across several predicates,
+// or to ingest whole arrival bursts through the batch-first Push overloads
+// (also forwarded here).
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <memory>
-#include <stdexcept>
-#include <thread>
+#include <span>
 
-#include "baseline/cell_join.hpp"
-#include "baseline/kang_join.hpp"
-#include "common/clock.hpp"
 #include "common/types.hpp"
-#include "hsj/hsj_pipeline.hpp"
-#include "llhj/home_policy.hpp"
-#include "llhj/llhj_pipeline.hpp"
-#include "runtime/backoff.hpp"
-#include "runtime/executor.hpp"
-#include "stream/collector.hpp"
+#include "core/join_session.hpp"
 #include "stream/handlers.hpp"
-#include "stream/message.hpp"
-#include "stream/script.hpp"
-#include "stream/window.hpp"
 
 namespace sjoin {
-
-/// The four join engines of this library.
-enum class Algorithm : uint8_t {
-  kKang,        ///< sequential three-step procedure (Section 2.1)
-  kCellJoin,    ///< parallel window scan (Section 2.2.1)
-  kHandshake,   ///< original handshake join (Section 2.3)
-  kLowLatency,  ///< low-latency handshake join (Section 4)
-};
-
-constexpr const char* ToString(Algorithm a) {
-  switch (a) {
-    case Algorithm::kKang:
-      return "kang";
-    case Algorithm::kCellJoin:
-      return "celljoin";
-    case Algorithm::kHandshake:
-      return "handshake";
-    case Algorithm::kLowLatency:
-      return "llhj";
-  }
-  return "?";
-}
-
-struct JoinConfig {
-  Algorithm algorithm = Algorithm::kLowLatency;
-
-  /// Pipeline nodes (HSJ/LLHJ) or scan workers (CellJoin; 0 = inline).
-  int parallelism = 4;
-
-  WindowSpec window_r = WindowSpec::Count(1024);
-  WindowSpec window_s = WindowSpec::Count(1024);
-
-  /// Pipeline tuning.
-  std::size_t channel_capacity = 1024;
-  std::size_t result_capacity = 1 << 16;
-  int msgs_per_step = 8;
-  HomePolicy home_policy = HomePolicy::kRoundRobin;
-
-  /// Emit punctuations into the output stream (LLHJ only, Section 6).
-  bool punctuate = false;
-
-  /// Run pipeline nodes on their own pinned threads. When false, the
-  /// pipeline advances inside Push/Poll on the caller's thread
-  /// (deterministic; useful for tests and small workloads).
-  bool threaded = true;
-
-  /// HSJ only: expected window size in tuples used to derive the per-node
-  /// segment capacity. 0 = derive from count windows, or a default.
-  int64_t hsj_window_tuples_hint = 0;
-};
 
 template <typename R, typename S, typename Pred>
 class StreamJoiner {
  public:
   StreamJoiner(const JoinConfig& config, OutputHandler<R, S>* handler,
                Pred pred = Pred{})
-      : config_(config),
-        handler_(handler),
-        handler_sink_{handler},
-        tracker_(config.window_r, config.window_s) {
-    switch (config_.algorithm) {
-      case Algorithm::kKang:
-        kang_ = std::make_unique<KangJoin<R, S, Pred, HandlerSink>>(
-            &handler_sink_, pred);
-        break;
-      case Algorithm::kCellJoin: {
-        typename CellJoin<R, S, Pred, HandlerSink>::Options options;
-        options.workers = config_.parallelism > 0 ? config_.parallelism - 1
-                                                  : 0;
-        cell_ = std::make_unique<CellJoin<R, S, Pred, HandlerSink>>(
-            &handler_sink_, pred, options);
-        break;
-      }
-      case Algorithm::kHandshake: {
-        typename HsjPipeline<R, S, Pred>::Options options;
-        options.nodes = config_.parallelism;
-        options.result_capacity = config_.result_capacity;
-        options.msgs_per_step = config_.msgs_per_step;
-        const int64_t window_tuples = HsjWindowTuples();
-        // Segments self-balance (capacity 0), adapting to the live window.
-        // HSJ correctness requires the driver's lead over the pipeline to
-        // stay well below the window (DESIGN.md, bounded-lag regime): cap
-        // the entry channels, and additionally gate pushes on the total
-        // pipeline backlog (see Dispatch) since thread starvation can build
-        // backlog in interior channels too.
-        options.channel_capacity = std::min<std::size_t>(
-            config_.channel_capacity,
-            std::max<std::size_t>(
-                8, static_cast<std::size_t>(window_tuples / 4)));
-        hsj_lag_budget_ = std::max<std::size_t>(
-            16, static_cast<std::size_t>(window_tuples / 2));
-        hsj_ = std::make_unique<HsjPipeline<R, S, Pred>>(options, pred);
-        collector_ = hsj_->MakeCollector(handler_);
-        SetUpExecutor(hsj_->nodes());
-        break;
-      }
-      case Algorithm::kLowLatency: {
-        typename LlhjPipeline<R, S, Pred>::Options options;
-        options.nodes = config_.parallelism;
-        options.channel_capacity = config_.channel_capacity;
-        options.result_capacity = config_.result_capacity;
-        options.msgs_per_step = config_.msgs_per_step;
-        options.home_policy = config_.home_policy;
-        options.punctuate = config_.punctuate;
-        llhj_ = std::make_unique<LlhjPipeline<R, S, Pred>>(options, pred);
-        collector_ = llhj_->MakeCollector(handler_);
-        SetUpExecutor(llhj_->nodes());
-        break;
-      }
-    }
+      : session_(config) {
+    session_.AddQuery(pred, handler);
   }
-
-  ~StreamJoiner() { Stop(); }
 
   StreamJoiner(const StreamJoiner&) = delete;
   StreamJoiner& operator=(const StreamJoiner&) = delete;
 
-  void PushR(const R& r, Timestamp ts) {
-    ts = Monotonic(ts);
-    EmitTimeExpiries(ts);
-    DriverEvent<R, S> event;
-    event.op = DriverOp::kArriveR;
-    event.seq = r_seq_++;
-    event.ts = ts;
-    event.r = r;
-    Dispatch(event);
-    EmitCountExpiry(StreamSide::kR, event.seq, ts);
-    DrainIfSynchronous();
-  }
+  void PushR(const R& r, Timestamp ts) { session_.PushR(r, ts); }
+  void PushS(const S& s, Timestamp ts) { session_.PushS(s, ts); }
 
-  void PushS(const S& s, Timestamp ts) {
-    ts = Monotonic(ts);
-    EmitTimeExpiries(ts);
-    DriverEvent<R, S> event;
-    event.op = DriverOp::kArriveS;
-    event.seq = s_seq_++;
-    event.ts = ts;
-    event.s = s;
-    Dispatch(event);
-    EmitCountExpiry(StreamSide::kS, event.seq, ts);
-    DrainIfSynchronous();
+  /// Batch-first ingestion (see JoinSession): equivalent to the per-tuple
+  /// loop, delivered as channel bursts and probed batch-at-a-time.
+  void PushR(std::span<const R> rs, std::span<const Timestamp> tss) {
+    session_.PushR(rs, tss);
+  }
+  void PushS(std::span<const S> ss, std::span<const Timestamp> tss) {
+    session_.PushS(ss, tss);
   }
 
   /// Delivers pending results (and punctuations) to the handler. For
   /// non-threaded pipelines this also advances the pipeline.
-  void Poll() {
-    if (collector_ == nullptr) return;  // Kang/Cell deliver synchronously
-    if (!config_.threaded) sequential_.RunUntilQuiescent();
-    collector_->VacuumOnce();
-  }
+  void Poll() { session_.Poll(); }
 
   /// Ends the input: flushes the handshake-join pipeline (so pairs still
   /// separated inside it meet) and drains everything to the handler.
-  void FinishInput() {
-    if (finished_) return;
-    finished_ = true;
-    if (hsj_ != nullptr) {
-      DriverEvent<R, S> flush_r;
-      flush_r.op = DriverOp::kFlushR;
-      Dispatch(flush_r);
-      DriverEvent<R, S> flush_s;
-      flush_s.op = DriverOp::kFlushS;
-      Dispatch(flush_s);
-    }
-    if (collector_ == nullptr) return;
-    if (!config_.threaded) {
-      sequential_.RunUntilQuiescent();
-      collector_->VacuumOnce();
-      return;
-    }
-    WaitQuiescentThreaded();
-  }
+  void FinishInput() { session_.FinishInput(); }
 
-  void Stop() {
-    if (executor_ != nullptr) executor_->Stop();
-    if (collector_ != nullptr) collector_->VacuumOnce();
-  }
+  void Stop() { session_.Stop(); }
 
-  uint64_t results_collected() const {
-    return collector_ != nullptr ? collector_->total_collected()
-                                 : handler_sink_.emitted;
-  }
+  uint64_t results_collected() const { return session_.results_collected(); }
 
-  Algorithm algorithm() const { return config_.algorithm; }
-  const JoinConfig& config() const { return config_; }
+  Algorithm algorithm() const { return session_.algorithm(); }
+  const JoinConfig& config() const { return session_.config(); }
 
   /// Diagnostics for tests: anomaly counters must stay zero.
-  uint64_t pipeline_anomalies() const {
-    if (hsj_ != nullptr) return hsj_->total_anomalies();
-    if (llhj_ != nullptr) return llhj_->total_anomalies();
-    return 0;
-  }
+  uint64_t pipeline_anomalies() const { return session_.pipeline_anomalies(); }
+
+  /// The underlying session (e.g. for per-query introspection).
+  JoinSession<R, S, Pred>& session() { return session_; }
+  const JoinSession<R, S, Pred>& session() const { return session_; }
 
  private:
-  struct HandlerSink {
-    OutputHandler<R, S>* handler;
-    uint64_t emitted = 0;
-    void Emit(const ResultMsg<R, S>& m) {
-      handler->OnResult(m);
-      ++emitted;
-    }
-  };
-
-  int64_t HsjWindowTuples() const {
-    // Count windows state their size directly; otherwise fall back to the
-    // caller's hint (required for time windows to size segments sensibly).
-    if (config_.window_r.is_count() && config_.window_s.is_count()) {
-      return std::max<int64_t>(config_.window_r.size, config_.window_s.size);
-    }
-    if (config_.hsj_window_tuples_hint > 0) {
-      return config_.hsj_window_tuples_hint;
-    }
-    return 1024;
-  }
-
-  void SetUpExecutor(std::vector<Steppable*> nodes) {
-    if (config_.threaded) {
-      executor_ = std::make_unique<ThreadedExecutor>();
-      for (Steppable* node : nodes) executor_->Add(node);
-      executor_->Start();
-    } else {
-      for (Steppable* node : nodes) sequential_.Add(node);
-    }
-  }
-
-  Timestamp Monotonic(Timestamp ts) {
-    if (ts < last_ts_) ts = last_ts_;
-    last_ts_ = ts;
-    return ts;
-  }
-
-  void EmitTimeExpiries(Timestamp ts) {
-    StreamSide side;
-    Seq seq;
-    Timestamp expired_ts;
-    while (tracker_.PopTimeExpiry(ts, &side, &seq, &expired_ts)) {
-      DriverEvent<R, S> event;
-      event.op = side == StreamSide::kR ? DriverOp::kExpireR
-                                        : DriverOp::kExpireS;
-      event.seq = seq;
-      event.ts = expired_ts;
-      Dispatch(event);
-    }
-  }
-
-  void EmitCountExpiry(StreamSide side, Seq seq, Timestamp ts) {
-    Seq expired_seq;
-    Timestamp expired_ts;
-    if (tracker_.OnArrival(side, seq, ts, &expired_seq, &expired_ts)) {
-      DriverEvent<R, S> event;
-      event.op = side == StreamSide::kR ? DriverOp::kExpireR
-                                        : DriverOp::kExpireS;
-      event.seq = expired_seq;
-      event.ts = expired_ts;
-      Dispatch(event);
-    }
-  }
-
-  void Dispatch(const DriverEvent<R, S>& event) {
-    if (kang_ != nullptr) {
-      kang_->OnEvent(event);
-      return;
-    }
-    if (cell_ != nullptr) {
-      cell_->OnEvent(event);
-      return;
-    }
-    // Bounded-lag enforcement for the handshake join: do not let the driver
-    // run more than ~half a window ahead of the pipeline, wherever the
-    // backlog sits (entry or interior channels). Result queues are
-    // excluded — their occupancy is the application's polling cadence.
-    if (hsj_ != nullptr && config_.threaded) {
-      Backoff backoff;
-      while (hsj_->ApproxChannelBacklog() > hsj_lag_budget_) backoff.Pause();
-    }
-    PipelinePorts<R, S> ports =
-        hsj_ != nullptr ? hsj_->ports() : llhj_->ports();
-    switch (event.op) {
-      case DriverOp::kArriveR: {
-        FlowMsg<R> msg;
-        msg.kind = MsgKind::kArrival;
-        msg.seq = event.seq;
-        msg.ts = event.ts;
-        msg.arrival_wall_ns = NowNs();
-        msg.payload = event.r;
-        PushBlocking(ports.left, msg);
-        break;
-      }
-      case DriverOp::kArriveS: {
-        FlowMsg<S> msg;
-        msg.kind = MsgKind::kArrival;
-        msg.seq = event.seq;
-        msg.ts = event.ts;
-        msg.arrival_wall_ns = NowNs();
-        msg.payload = event.s;
-        PushBlocking(ports.right, msg);
-        break;
-      }
-      case DriverOp::kExpireR: {
-        WaitTupleCompleted(StreamSide::kR, event.seq);
-        FlowMsg<S> msg;
-        msg.kind = MsgKind::kExpiry;
-        msg.ref_side = StreamSide::kR;
-        msg.seq = event.seq;
-        msg.ts = event.ts;
-        PushBlocking(ports.right, msg);
-        break;
-      }
-      case DriverOp::kExpireS: {
-        WaitTupleCompleted(StreamSide::kS, event.seq);
-        FlowMsg<R> msg;
-        msg.kind = MsgKind::kExpiry;
-        msg.ref_side = StreamSide::kS;
-        msg.seq = event.seq;
-        msg.ts = event.ts;
-        PushBlocking(ports.left, msg);
-        break;
-      }
-      case DriverOp::kFlushR: {
-        FlowMsg<R> msg;
-        msg.kind = MsgKind::kFlush;
-        PushBlocking(ports.left, msg);
-        break;
-      }
-      case DriverOp::kFlushS: {
-        FlowMsg<S> msg;
-        msg.kind = MsgKind::kFlush;
-        PushBlocking(ports.right, msg);
-        break;
-      }
-    }
-  }
-
-  /// Keeps the single-threaded pipeline fully drained between pushes so
-  /// the driver never runs ahead of it (exactness for any window size).
-  void DrainIfSynchronous() {
-    if (collector_ != nullptr && !config_.threaded) {
-      sequential_.RunUntilQuiescent();
-    }
-  }
-
-  /// LLHJ expiry gate (see Feeder::Options::expiry_gate): an expiry enters
-  /// the pipeline only after its tuple finished travelling.
-  void WaitTupleCompleted(StreamSide side, Seq seq) {
-    if (llhj_ == nullptr) return;
-    Backoff backoff;
-    while (llhj_->hwm().CompletedSeq(side) < static_cast<int64_t>(seq)) {
-      if (config_.threaded) {
-        backoff.Pause();
-      } else if (!sequential_.StepOnce()) {
-        throw std::runtime_error("pipeline stalled before tuple completion");
-      }
-    }
-  }
-
-  template <typename T>
-  void PushBlocking(SpscQueue<FlowMsg<T>>* queue, const FlowMsg<T>& msg) {
-    if (config_.threaded) {
-      Backoff backoff;
-      while (!queue->TryPush(msg)) backoff.Pause();
-      return;
-    }
-    while (!queue->TryPush(msg)) {
-      if (!sequential_.StepOnce()) {
-        throw std::runtime_error("pipeline stalled with full input queue");
-      }
-      if (collector_ != nullptr) collector_->VacuumOnce();
-    }
-  }
-
-  void WaitQuiescentThreaded() {
-    // Distributed quiescence: channel backlog empty, node progress counters
-    // stable, and nothing newly collected — several times in a row.
-    uint64_t last_processed = 0;
-    uint64_t last_collected = 0;
-    int stable_rounds = 0;
-    while (stable_rounds < 5) {
-      collector_->VacuumOnce();
-      const std::size_t backlog =
-          hsj_ != nullptr ? hsj_->ApproxBacklog() : llhj_->ApproxBacklog();
-      const uint64_t processed = hsj_ != nullptr ? hsj_->TotalProcessed()
-                                                 : llhj_->TotalProcessed();
-      const uint64_t collected = collector_->total_collected();
-      if (backlog == 0 && processed == last_processed &&
-          collected == last_collected) {
-        ++stable_rounds;
-      } else {
-        stable_rounds = 0;
-        last_processed = processed;
-        last_collected = collected;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-  }
-
-  JoinConfig config_;
-  OutputHandler<R, S>* handler_;
-  HandlerSink handler_sink_;
-  ExpiryTracker tracker_;
-
-  Seq r_seq_ = 0;
-  Seq s_seq_ = 0;
-  Timestamp last_ts_ = kMinTimestamp;
-  bool finished_ = false;
-  std::size_t hsj_lag_budget_ = 1 << 20;
-
-  std::unique_ptr<KangJoin<R, S, Pred, HandlerSink>> kang_;
-  std::unique_ptr<CellJoin<R, S, Pred, HandlerSink>> cell_;
-  std::unique_ptr<HsjPipeline<R, S, Pred>> hsj_;
-  std::unique_ptr<LlhjPipeline<R, S, Pred>> llhj_;
-  std::unique_ptr<Collector<R, S>> collector_;
-  std::unique_ptr<ThreadedExecutor> executor_;
-  SequentialExecutor sequential_;
+  JoinSession<R, S, Pred> session_;
 };
 
 }  // namespace sjoin

@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/seq_ring.hpp"
 #include "common/types.hpp"
@@ -42,6 +44,7 @@
 #include "runtime/spsc_queue.hpp"
 #include "runtime/staged_channel.hpp"
 #include "stream/message.hpp"
+#include "stream/query_set.hpp"
 #include "stream/sink.hpp"
 
 namespace sjoin {
@@ -79,11 +82,13 @@ class HsjNode : public Steppable {
     uint64_t anomalies = 0;  ///< must stay 0; checked by tests
   };
 
-  HsjNode(const Config& config, Pred pred, Sink* sink,
+  /// `queries` is the frozen predicate set evaluated per window crossing;
+  /// the node keeps an immutable copy.
+  HsjNode(const Config& config, const QuerySet<Pred>& queries, Sink* sink,
           SpscQueue<FlowMsg<R>>* left_in, SpscQueue<FlowMsg<R>>* right_out,
           SpscQueue<FlowMsg<S>>* right_in, SpscQueue<FlowMsg<S>>* left_out)
       : config_(config),
-        pred_(pred),
+        queries_(queries),
         sink_(sink),
         left_in_(left_in),
         right_in_(right_in),
@@ -153,49 +158,69 @@ class HsjNode : public Steppable {
   bool IsLeftmost() const { return config_.id == 0; }
   bool IsRightmost() const { return config_.id == config_.nodes - 1; }
 
-  /// Consumes up to msgs_per_step left-input messages as bursts. Returns
-  /// the number consumed; stops early at a backpressure-blocked arrival.
+  /// Consumes up to msgs_per_step left-input messages as bursts. Runs of
+  /// consecutive arrivals (fresh, relocated or dying) are probed against
+  /// the local segment in a single pass; control messages go one by one.
   std::size_t ProcessLeftBurst() {
-    return DrainBurstBudget(left_in_,
-                            static_cast<std::size_t>(config_.msgs_per_step),
-                            [this](FlowMsg<R>* msg) { return HandleLeft(msg); });
+    return DrainBurstBudgetBatched(
+        left_in_, static_cast<std::size_t>(config_.msgs_per_step),
+        IsArrival<R>,
+        [this](FlowMsg<R>* msgs, std::size_t run) {
+          return HandleLeftArrivals(msgs, run);
+        },
+        [this](FlowMsg<R>* msg) { return HandleLeft(msg); });
   }
 
   /// Consumes up to msgs_per_step right-input messages as bursts.
   std::size_t ProcessRightBurst() {
-    return DrainBurstBudget(
+    return DrainBurstBudgetBatched(
         right_in_, static_cast<std::size_t>(config_.msgs_per_step),
+        IsArrival<S>,
+        [this](FlowMsg<S>* msgs, std::size_t run) {
+          return HandleRightArrivals(msgs, run);
+        },
         [this](FlowMsg<S>* msg) { return HandleRight(msg); });
   }
 
   // -- Left input: R arrivals/relocations, acks of S, expiries, R flushes. --
 
-  /// Processes one left-input message in place (the slot is released by the
-  /// caller's ConsumeBurst). Returns false iff the message is an arrival
-  /// deferred by backpressure — it then must stay at the channel front.
+  /// Consumes a run of left-input R arrivals as one batch: one scan of the
+  /// local S segment (and in-flight buffer) for all k probes, then the
+  /// per-tuple rest/forward bookkeeping in flow order. Returns the number
+  /// consumed; fewer than `run` when backpressure caps the batch.
+  std::size_t HandleLeftArrivals(FlowMsg<R>* msgs, std::size_t run) {
+    std::size_t k = run;
+    if (!IsRightmost()) {
+      k = std::min(run, right_out_.ArrivalBudget(kArrivalSlack));
+      if (k == 0) return 0;  // backpressure: retry once downstream drains
+    }
+    probe_r_.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      probe_r_.push_back(Stamped<R>{msgs[j].payload, msgs[j].seq, msgs[j].ts,
+                                    msgs[j].arrival_wall_ns});
+    }
+    ScanBatchAgainstS(probe_r_.data(), k);
+    for (std::size_t j = 0; j < k; ++j) {
+      if ((msgs[j].flags & kMsgDying) != 0) {
+        // Expired mid-traversal: keep travelling (scanning) but never
+        // rest again; discarded at the rightmost node.
+        if (!IsRightmost()) {
+          FlowMsg<R> fwd = MakeArrival(probe_r_[j]);
+          fwd.flags |= kMsgRelocated | kMsgDying;
+          right_out_.Push(fwd);
+        }
+      } else {
+        wr_.push_back(probe_r_[j]);
+      }
+    }
+    RelocateROverflow();
+    return k;
+  }
+
+  /// Processes one left-input *control* message in place (arrivals go
+  /// through HandleLeftArrivals). Returns false iff deferred.
   bool HandleLeft(FlowMsg<R>* msg) {
     switch (msg->kind) {
-      case MsgKind::kArrival: {
-        if (!IsRightmost() && !right_out_.Available(kArrivalSlack)) {
-          return false;  // backpressure: retry once downstream drains
-        }
-        Stamped<R> r{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
-        const bool dying = (msg->flags & kMsgDying) != 0;
-        ScanAgainstS(r);
-        if (dying) {
-          // Expired mid-traversal: keep travelling (scanning) but never
-          // rest again; discarded at the rightmost node.
-          if (!IsRightmost()) {
-            FlowMsg<R> fwd = MakeArrival(r);
-            fwd.flags |= kMsgRelocated | kMsgDying;
-            right_out_.Push(fwd);
-          }
-        } else {
-          wr_.push_back(r);
-          RelocateROverflow();
-        }
-        return true;
-      }
       case MsgKind::kAck: {
         EraseIws(msg->seq);
         return true;
@@ -216,43 +241,59 @@ class HsjNode : public Steppable {
 
   // -- Right input: S arrivals/relocations, expiries, S flushes. ------------
 
-  /// Processes one right-input message in place; see HandleLeft.
+  /// Consumes a run of right-input S arrivals as one batch; mirrors
+  /// HandleLeftArrivals. Only the forward (relocation) direction is gated;
+  /// acknowledgements stage when their channel is momentarily full. Gating
+  /// both directions would close a neighbour wait-for cycle (deadlock at
+  /// small channel capacities).
+  std::size_t HandleRightArrivals(FlowMsg<S>* msgs, std::size_t run) {
+    std::size_t k = run;
+    if (!IsLeftmost()) {
+      k = std::min(run, left_out_.ArrivalBudget(kArrivalSlack));
+      if (k == 0) return 0;
+    }
+    probe_s_.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      probe_s_.push_back(Stamped<S>{msgs[j].payload, msgs[j].seq, msgs[j].ts,
+                                    msgs[j].arrival_wall_ns});
+    }
+    ScanBatchAgainstR(probe_s_.data(), k);
+    ack_buf_.clear();
+    bool rested = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      const Stamped<S>& s = probe_s_[j];
+      if ((msgs[j].flags & kMsgDying) != 0) {
+        if (!IsLeftmost()) {
+          FlowMsg<S> fwd = MakeArrival(s);
+          fwd.flags |= kMsgRelocated | kMsgDying;
+          left_out_.Push(fwd);
+          // Ack protocol still applies: the dying tuple stays virtually
+          // present until the receiver confirms, so in-flight crossings
+          // with R arrivals are detected.
+          iws_.PushBack(s);
+        }
+      } else {
+        ws_.push_back(s);
+        rested = true;
+      }
+      if (!IsRightmost()) {
+        FlowMsg<R> ack;
+        ack.kind = MsgKind::kAck;
+        ack.ref_side = StreamSide::kS;
+        ack.seq = s.seq;
+        ack_buf_.push_back(ack);
+      }
+    }
+    if (!ack_buf_.empty()) {
+      right_out_.PushBurst(std::span<const FlowMsg<R>>(ack_buf_));
+    }
+    if (rested) RelocateSOverflow();
+    return k;
+  }
+
+  /// Processes one right-input *control* message in place; see HandleLeft.
   bool HandleRight(FlowMsg<S>* msg) {
     switch (msg->kind) {
-      case MsgKind::kArrival: {
-        // Only the forward (relocation) direction is gated; the
-        // acknowledgement stages when its channel is momentarily full.
-        // Gating both directions would close a neighbour wait-for cycle
-        // (deadlock at small channel capacities).
-        if (!IsLeftmost() && !left_out_.Available(kArrivalSlack)) {
-          return false;
-        }
-        Stamped<S> s{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
-        const bool dying = (msg->flags & kMsgDying) != 0;
-        ScanAgainstR(s);
-        if (dying) {
-          if (!IsLeftmost()) {
-            FlowMsg<S> fwd = MakeArrival(s);
-            fwd.flags |= kMsgRelocated | kMsgDying;
-            left_out_.Push(fwd);
-            // Ack protocol still applies: the dying tuple stays virtually
-            // present until the receiver confirms, so in-flight crossings
-            // with R arrivals are detected.
-            iws_.PushBack(s);
-          }
-        } else {
-          ws_.push_back(s);
-        }
-        if (!IsRightmost()) {
-          FlowMsg<R> ack;
-          ack.kind = MsgKind::kAck;
-          ack.ref_side = StreamSide::kS;
-          ack.seq = s.seq;
-          right_out_.Push(ack);
-        }
-        if (!dying) RelocateSOverflow();
-        return true;
-      }
       case MsgKind::kExpiry: {
         HandleExpiry(msg->ref_side, msg->seq, msg->ts, msg->hops);
         return true;
@@ -269,19 +310,31 @@ class HsjNode : public Steppable {
 
   // -- Matching --------------------------------------------------------------
 
-  void ScanAgainstS(const Stamped<R>& r) {
-    for (const auto& s : ws_) {
-      if (pred_(r.value, s.value)) sink_->Emit(MakeResult(r, s, config_.id));
-    }
-    // Forwarded-but-unacked S tuples are virtually still resident here.
-    iws_.ForEach([&](const Stamped<S>& s) {
-      if (pred_(r.value, s.value)) sink_->Emit(MakeResult(r, s, config_.id));
+  /// Evaluates every registered query on the crossing pair, emitting one
+  /// tagged result per matching query.
+  void EmitMatches(const Stamped<R>& r, const Stamped<S>& s) {
+    queries_.Match(r.value, s.value, [&](QueryId q) {
+      ResultMsg<R, S> m = MakeResult(r, s, config_.id);
+      m.query = q;
+      sink_->Emit(m);
     });
   }
 
-  void ScanAgainstR(const Stamped<S>& s) {
+  /// One pass over the local S segment (entry-major: each resident tuple is
+  /// loaded once and tested against the whole probe run and every query).
+  void ScanBatchAgainstS(const Stamped<R>* rs, std::size_t k) {
+    for (const auto& s : ws_) {
+      for (std::size_t j = 0; j < k; ++j) EmitMatches(rs[j], s);
+    }
+    // Forwarded-but-unacked S tuples are virtually still resident here.
+    iws_.ForEach([&](const Stamped<S>& s) {
+      for (std::size_t j = 0; j < k; ++j) EmitMatches(rs[j], s);
+    });
+  }
+
+  void ScanBatchAgainstR(const Stamped<S>* ss, std::size_t k) {
     for (const auto& r : wr_) {
-      if (pred_(r.value, s.value)) sink_->Emit(MakeResult(r, s, config_.id));
+      for (std::size_t j = 0; j < k; ++j) EmitMatches(r, ss[j]);
     }
   }
 
@@ -482,7 +535,7 @@ class HsjNode : public Steppable {
   bool EraseIws(Seq seq) { return iws_.Erase(seq); }
 
   Config config_;
-  Pred pred_;
+  QuerySet<Pred> queries_;
   Sink* sink_;
 
   SpscQueue<FlowMsg<R>>* left_in_;
@@ -493,6 +546,11 @@ class HsjNode : public Steppable {
   std::deque<Stamped<R>> wr_;   // front = oldest
   std::deque<Stamped<S>> ws_;
   SeqRing<Stamped<S>> iws_;     // forwarded to the left, not yet acked
+
+  // Scratch buffers of the batch arrival paths (reused across steps).
+  std::vector<Stamped<R>> probe_r_;
+  std::vector<Stamped<S>> probe_s_;
+  std::vector<FlowMsg<R>> ack_buf_;
 
   // Published segment sizes (self-balancing). Heap-allocated so the node
   // stays movable while neighbours hold stable pointers.

@@ -16,6 +16,7 @@
 #include "stream/collector.hpp"
 #include "stream/message.hpp"
 #include "stream/ports.hpp"
+#include "stream/query_set.hpp"
 #include "stream/sink.hpp"
 
 namespace sjoin {
@@ -45,9 +46,17 @@ class HsjPipeline {
   }
 
   explicit HsjPipeline(const Options& options, Pred pred = Pred{})
-      : options_(options) {
+      : HsjPipeline(options, QuerySet<Pred>(pred)) {}
+
+  /// Multi-query pipeline: every window crossing evaluates all predicates
+  /// of `queries` in one segment scan; results carry the QueryId.
+  HsjPipeline(const Options& options, const QuerySet<Pred>& queries)
+      : options_(options), queries_(queries) {
     const int n = options_.nodes;
     if (n < 1) throw std::invalid_argument("pipeline needs >= 1 node");
+    if (queries_.empty()) {
+      throw std::invalid_argument("pipeline needs >= 1 registered query");
+    }
 
     for (int k = 0; k < n; ++k) {
       l2r_.push_back(std::make_unique<SpscQueue<FlowMsg<R>>>(
@@ -67,7 +76,7 @@ class HsjPipeline {
       config.segment_capacity_s = options_.segment_capacity_s;
       config.msgs_per_step = options_.msgs_per_step;
       nodes_.push_back(std::make_unique<Node>(
-          config, pred, sinks_[static_cast<std::size_t>(k)].get(),
+          config, queries_, sinks_[static_cast<std::size_t>(k)].get(),
           /*left_in=*/l2r_[static_cast<std::size_t>(k)].get(),
           /*right_out=*/k + 1 < n ? l2r_[static_cast<std::size_t>(k) + 1].get()
                                   : nullptr,
@@ -109,6 +118,7 @@ class HsjPipeline {
   }
 
   const Options& options() const { return options_; }
+  const QuerySet<Pred>& queries() const { return queries_; }
   const Node& node(int k) const { return *nodes_[static_cast<std::size_t>(k)]; }
 
   uint64_t total_anomalies() const {
@@ -160,6 +170,7 @@ class HsjPipeline {
 
  private:
   Options options_;
+  QuerySet<Pred> queries_;
   std::vector<std::unique_ptr<SpscQueue<FlowMsg<R>>>> l2r_;
   std::vector<std::unique_ptr<SpscQueue<FlowMsg<S>>>> r2l_;
   std::vector<std::unique_ptr<SpscQueue<ResultMsg<R, S>>>> result_queues_;

@@ -33,11 +33,22 @@
 //    (refinement 2).
 //  * High-water marks — the end nodes publish the timestamp of every tuple
 //    completing its expedition, feeding punctuation generation (Section 6).
+//  * Multi-query sharing — the node evaluates a whole QuerySet per window
+//    crossing (one store traversal, N predicates, results tagged with the
+//    matching QueryId), amortizing transport and window maintenance across
+//    concurrent queries.
+//  * Batch-aware matching — runs of consecutive arrivals are forwarded as
+//    one channel burst and probed against the local store in a single pass
+//    (entry-major for scan stores: each entry is loaded once and tested
+//    against every probe of the run).
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+
+#include <span>
+#include <vector>
 
 #include "common/flat_hash.hpp"
 #include "common/seq_ring.hpp"
@@ -49,6 +60,7 @@
 #include "runtime/staged_channel.hpp"
 #include "stream/hwm.hpp"
 #include "stream/message.hpp"
+#include "stream/query_set.hpp"
 #include "stream/sink.hpp"
 
 namespace sjoin {
@@ -76,12 +88,15 @@ class LlhjNode : public Steppable {
     uint64_t anomalies = 0;  ///< must stay 0; checked by tests
   };
 
-  LlhjNode(const Config& config, Pred pred, Sink* sink,
+  /// `queries` is the frozen set of predicates this pipeline evaluates per
+  /// window crossing; the node keeps an immutable copy (hot-path reads need
+  /// no synchronization).
+  LlhjNode(const Config& config, const QuerySet<Pred>& queries, Sink* sink,
            SpscQueue<FlowMsg<R>>* left_in, SpscQueue<FlowMsg<R>>* right_out,
            SpscQueue<FlowMsg<S>>* right_in, SpscQueue<FlowMsg<S>>* left_out,
            HighWaterMarks* hwm = nullptr)
       : config_(config),
-        pred_(pred),
+        queries_(queries),
         sink_(sink),
         left_in_(left_in),
         right_in_(right_in),
@@ -125,72 +140,104 @@ class LlhjNode : public Steppable {
   bool IsLeftmost() const { return config_.id == 0; }
   bool IsRightmost() const { return config_.id == config_.nodes - 1; }
 
-  /// Consumes up to msgs_per_step left-input messages as bursts. Returns
-  /// the number consumed; stops early at a backpressure-blocked arrival.
+  /// Consumes up to msgs_per_step left-input messages as bursts. Runs of
+  /// consecutive arrivals are probed against the store in a single pass
+  /// (batch-aware matching); control messages are handled one by one.
+  /// Stops early at a backpressure-capped arrival run.
   std::size_t ProcessLeftBurst() {
-    return DrainBurstBudget(left_in_,
-                            static_cast<std::size_t>(config_.msgs_per_step),
-                            [this](FlowMsg<R>* msg) { return HandleLeft(msg); });
+    return DrainBurstBudgetBatched(
+        left_in_, static_cast<std::size_t>(config_.msgs_per_step),
+        IsArrival<R>,
+        [this](FlowMsg<R>* msgs, std::size_t run) {
+          return HandleLeftArrivals(msgs, run);
+        },
+        [this](FlowMsg<R>* msg) { return HandleLeft(msg); });
   }
 
   /// Consumes up to msgs_per_step right-input messages as bursts.
   std::size_t ProcessRightBurst() {
-    return DrainBurstBudget(
+    return DrainBurstBudgetBatched(
         right_in_, static_cast<std::size_t>(config_.msgs_per_step),
+        IsArrival<S>,
+        [this](FlowMsg<S>* msgs, std::size_t run) {
+          return HandleRightArrivals(msgs, run);
+        },
         [this](FlowMsg<S>* msg) { return HandleRight(msg); });
   }
 
   // -- Left input (Figure 13): R arrivals, acks of S, expiries of S. ---------
 
-  /// Processes one left-input message in place (the slot is released by the
-  /// caller's ConsumeBurst). Returns false iff the message is an arrival
-  /// deferred by backpressure — it then must stay at the channel front.
+  /// Consumes a run of left-input R arrivals as one batch: burst-forward,
+  /// one store traversal for all k probes (and all registered queries),
+  /// then per-tuple home bookkeeping in flow order. Returns the number
+  /// consumed; less than `run` (possibly 0) when outbound backpressure caps
+  /// the batch — the rest stays at the channel front.
+  //
+  // Backpressure gates only the *forward* direction; control outputs
+  // (expedition-ends) stage locally. Gating both directions would close a
+  // wait-for cycle between neighbours (deadlock at small channel
+  // capacities); this way every wait chain ends at the rightmost node,
+  // which consumes unconditionally.
+  std::size_t HandleLeftArrivals(FlowMsg<R>* msgs, std::size_t run) {
+    std::size_t k = run;
+    if (!IsRightmost()) {
+      k = std::min(run, right_out_.ArrivalBudget(kLlhjArrivalSlack));
+      if (k == 0) return 0;
+    }
+    // Fig 13 lines 5-6: the leftmost node assigns the home nodes.
+    if (IsLeftmost()) {
+      for (std::size_t j = 0; j < k; ++j) {
+        msgs[j].home = config_.home_r.Of(msgs[j].seq);
+      }
+    }
+    // Fig 13 line 7: expedite the whole run first to minimize latency.
+    if (!IsRightmost()) {
+      right_out_.PushBurst(std::span<const FlowMsg<R>>(msgs, k));
+    }
+    // Fig 13 line 8: match against stored copies and in-flight S — one
+    // traversal for the whole batch.
+    probe_r_.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      probe_r_.push_back(Stamped<R>{msgs[j].payload, msgs[j].seq, msgs[j].ts,
+                                    msgs[j].arrival_wall_ns});
+    }
+    ScanBatchAgainstS(probe_r_.data(), k);
+    // Fig 13 lines 9-12 per tuple, in flow order: store at the home node
+    // (flagged expedited), then end the expedition at the rightmost node —
+    // the marker is injected at exactly this position of the S flow.
+    for (std::size_t j = 0; j < k; ++j) {
+      const NodeId home = msgs[j].home;
+      const Stamped<R>& r = probe_r_[j];
+      if (home == config_.id) {
+        if (!ConsumeTombstone(&tombstones_r_, r.seq)) {
+          wr_.Insert(r, /*expedited=*/true);
+        }
+      }
+      if (IsRightmost()) {
+        if (home == config_.id) {
+          wr_.ClearExpedited(r.seq);
+        } else {
+          FlowMsg<S> end;
+          end.kind = MsgKind::kExpeditionEnd;
+          end.seq = r.seq;
+          end.home = home;
+          left_out_.Push(end);
+        }
+      }
+    }
+    if (IsRightmost() && hwm_ != nullptr) {
+      // Expeditions complete in FIFO order; publishing the last tuple of
+      // the batch covers every earlier one.
+      hwm_->Publish(StreamSide::kR, probe_r_[k - 1].ts, probe_r_[k - 1].seq);
+    }
+    counters_.r_processed += k;
+    return k;
+  }
+
+  /// Processes one left-input *control* message in place (arrivals go
+  /// through HandleLeftArrivals). Returns false iff deferred.
   bool HandleLeft(FlowMsg<R>* msg) {
     switch (msg->kind) {
-      case MsgKind::kArrival: {
-        // Backpressure gates only the *forward* direction; control outputs
-        // (expedition-ends) stage locally. Gating both directions would
-        // close a wait-for cycle between neighbours (deadlock at small
-        // channel capacities); this way every wait chain ends at the
-        // rightmost node, which consumes unconditionally.
-        if (!IsRightmost() && !right_out_.Available(kLlhjArrivalSlack)) {
-          return false;
-        }
-        // Fig 13 line 5-6: the leftmost node assigns the home node.
-        if (IsLeftmost()) msg->home = config_.home_r.Of(msg->seq);
-        const NodeId home = msg->home;
-        Stamped<R> r{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
-
-        // Fig 13 line 7: expedite first to minimize latency.
-        if (!IsRightmost()) right_out_.Push(*msg);
-
-        // Fig 13 line 8: match against stored copies and in-flight S.
-        ScanAgainstS(r);
-
-        // Fig 13 lines 9-10: store at the home node, flagged expedited.
-        if (home == config_.id) {
-          if (!ConsumeTombstone(&tombstones_r_, r.seq)) {
-            wr_.Insert(r, /*expedited=*/true);
-          }
-        }
-
-        // Fig 13 lines 11-12, refined: the expedition ends *now*; inject the
-        // marker at this exact position of the S-flow (or apply it locally).
-        if (IsRightmost()) {
-          if (hwm_ != nullptr) hwm_->Publish(StreamSide::kR, r.ts, r.seq);
-          if (home == config_.id) {
-            wr_.ClearExpedited(r.seq);
-          } else {
-            FlowMsg<S> end;
-            end.kind = MsgKind::kExpeditionEnd;
-            end.seq = r.seq;
-            end.home = home;
-            left_out_.Push(end);
-          }
-        }
-        ++counters_.r_processed;
-        return true;
-      }
       case MsgKind::kAck: {  // Fig 13 lines 13-14
         EraseIws(msg->seq);
         return true;
@@ -224,55 +271,72 @@ class LlhjNode : public Steppable {
 
   // -- Right input (Figure 14): S arrivals, expedition-ends, expiries of R. --
 
-  /// Processes one right-input message in place; see HandleLeft.
+  /// Consumes a run of right-input S arrivals as one batch; mirrors
+  /// HandleLeftArrivals. Only the forward direction is gated; the
+  /// acknowledgements stage if their channel is momentarily full.
+  std::size_t HandleRightArrivals(FlowMsg<S>* msgs, std::size_t run) {
+    std::size_t k = run;
+    if (!IsLeftmost()) {
+      k = std::min(run, left_out_.ArrivalBudget(kLlhjArrivalSlack));
+      if (k == 0) return 0;
+    }
+    // Fig 14 lines 5-6: the rightmost node assigns the home nodes.
+    if (IsRightmost()) {
+      for (std::size_t j = 0; j < k; ++j) {
+        msgs[j].home = config_.home_s.Of(msgs[j].seq);
+      }
+    }
+    // Fig 14 line 7: expedite first.
+    if (!IsLeftmost()) {
+      left_out_.PushBurst(std::span<const FlowMsg<S>>(msgs, k));
+    }
+    // Fig 14 line 8: one traversal of the R store for the whole batch;
+    // only non-expedited entries participate (stored/stored dedup).
+    probe_s_.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      probe_s_.push_back(Stamped<S>{msgs[j].payload, msgs[j].seq, msgs[j].ts,
+                                    msgs[j].arrival_wall_ns});
+    }
+    ScanBatchAgainstR(probe_s_.data(), k);
+    ack_buf_.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      const NodeId home = msgs[j].home;
+      const Stamped<S>& s = probe_s_[j];
+      // Fig 14 lines 9-10: fresh tuples stay virtually present until the
+      // receiver acknowledges them (avoids stored/fresh misses). The
+      // leftmost node has no receiver, so nothing to track there.
+      if (config_.id > home && !IsLeftmost()) iws_.PushBack(s);
+
+      // Fig 14 lines 11-12: store at the home node.
+      if (home == config_.id) {
+        if (!ConsumeTombstone(&tombstones_s_, s.seq)) {
+          ws_.Insert(s, /*expedited=*/false);
+        }
+      }
+
+      // Fig 14 line 13: acknowledge to the right-hand sender (the
+      // rightmost node received s from the driver — nothing to ack).
+      if (!IsRightmost()) {
+        FlowMsg<R> ack;
+        ack.kind = MsgKind::kAck;
+        ack.ref_side = StreamSide::kS;
+        ack.seq = s.seq;
+        ack_buf_.push_back(ack);
+      }
+    }
+    if (!ack_buf_.empty()) {
+      right_out_.PushBurst(std::span<const FlowMsg<R>>(ack_buf_));
+    }
+    if (IsLeftmost() && hwm_ != nullptr) {
+      hwm_->Publish(StreamSide::kS, probe_s_[k - 1].ts, probe_s_[k - 1].seq);
+    }
+    counters_.s_processed += k;
+    return k;
+  }
+
+  /// Processes one right-input *control* message in place; see HandleLeft.
   bool HandleRight(FlowMsg<S>* msg) {
     switch (msg->kind) {
-      case MsgKind::kArrival: {
-        // Only the forward direction is gated; the acknowledgement stages
-        // if its channel is momentarily full (see the left-side comment).
-        if (!IsLeftmost() && !left_out_.Available(kLlhjArrivalSlack)) {
-          return false;
-        }
-        // Fig 14 lines 5-6: the rightmost node assigns the home node.
-        if (IsRightmost()) msg->home = config_.home_s.Of(msg->seq);
-        const NodeId home = msg->home;
-        Stamped<S> s{msg->payload, msg->seq, msg->ts, msg->arrival_wall_ns};
-
-        // Fig 14 line 7: expedite first.
-        if (!IsLeftmost()) left_out_.Push(*msg);
-
-        // Fig 14 line 8: avoid stored/stored double matches — only
-        // non-expedited R entries participate.
-        ScanAgainstR(s);
-
-        // Fig 14 lines 9-10: fresh tuples stay virtually present until the
-        // receiver acknowledges them (avoids stored/fresh misses). The
-        // leftmost node has no receiver, so nothing to track there.
-        if (config_.id > home && !IsLeftmost()) iws_.PushBack(s);
-
-        // Fig 14 lines 11-12: store at the home node.
-        if (home == config_.id) {
-          if (!ConsumeTombstone(&tombstones_s_, s.seq)) {
-            ws_.Insert(s, /*expedited=*/false);
-          }
-        }
-
-        // Fig 14 line 13: acknowledge to the right-hand sender (the
-        // rightmost node received s from the driver — nothing to ack).
-        if (!IsRightmost()) {
-          FlowMsg<R> ack;
-          ack.kind = MsgKind::kAck;
-          ack.ref_side = StreamSide::kS;
-          ack.seq = s.seq;
-          right_out_.Push(ack);
-        }
-
-        if (IsLeftmost() && hwm_ != nullptr) {
-          hwm_->Publish(StreamSide::kS, s.ts, s.seq);
-        }
-        ++counters_.s_processed;
-        return true;
-      }
       case MsgKind::kExpeditionEnd: {  // Fig 14 lines 14-19
         if (msg->home == config_.id) {
           wr_.ClearExpedited(msg->seq);  // no-op if expired/tombstoned
@@ -309,28 +373,37 @@ class LlhjNode : public Steppable {
 
   // -- Matching ----------------------------------------------------------------
 
-  void ScanAgainstS(const Stamped<R>& r) {
-    // Stored copies: each S tuple rests on exactly one node, so across the
-    // whole pipeline this evaluates each stored pair once (at h_s).
-    ws_.ForEach(r.value, [&](const StoreEntry<S>& entry) {
-      if (pred_(r.value, entry.tuple.value)) {
-        sink_->Emit(MakeResult(r, entry.tuple, config_.id));
-      }
-    });
-    // In-flight fresh S tuples: the "while travelling" evaluations.
-    iws_.ForEach([&](const Stamped<S>& s) {
-      if (pred_(r.value, s.value)) {
-        sink_->Emit(MakeResult(r, s, config_.id));
-      }
+  /// Evaluates every registered query on the crossing pair, emitting one
+  /// tagged result per matching query.
+  void EmitMatches(const Stamped<R>& r, const Stamped<S>& s) {
+    queries_.Match(r.value, s.value, [&](QueryId q) {
+      ResultMsg<R, S> m = MakeResult(r, s, config_.id);
+      m.query = q;
+      sink_->Emit(m);
     });
   }
 
-  void ScanAgainstR(const Stamped<S>& s) {
-    wr_.ForEach(s.value, [&](const StoreEntry<R>& entry) {
-      if (!entry.expedited && pred_(entry.tuple.value, s.value)) {
-        sink_->Emit(MakeResult(entry.tuple, s, config_.id));
-      }
+  void ScanBatchAgainstS(const Stamped<R>* rs, std::size_t k) {
+    // Stored copies: each S tuple rests on exactly one node, so across the
+    // whole pipeline each (pair, query) combination is evaluated once (at
+    // h_s) — one store traversal covers all k probes and all queries.
+    ws_.ForEachBatch(
+        k, [&](std::size_t j) -> const R& { return rs[j].value; },
+        [&](std::size_t j, const StoreEntry<S>& entry) {
+          EmitMatches(rs[j], entry.tuple);
+        });
+    // In-flight fresh S tuples: the "while travelling" evaluations.
+    iws_.ForEach([&](const Stamped<S>& s) {
+      for (std::size_t j = 0; j < k; ++j) EmitMatches(rs[j], s);
     });
+  }
+
+  void ScanBatchAgainstR(const Stamped<S>* ss, std::size_t k) {
+    wr_.ForEachBatch(
+        k, [&](std::size_t j) -> const S& { return ss[j].value; },
+        [&](std::size_t j, const StoreEntry<R>& entry) {
+          if (!entry.expedited) EmitMatches(entry.tuple, ss[j]);
+        });
   }
 
   // -- Helpers -----------------------------------------------------------------
@@ -342,7 +415,7 @@ class LlhjNode : public Steppable {
   bool EraseIws(Seq seq) { return iws_.Erase(seq); }
 
   Config config_;
-  Pred pred_;
+  QuerySet<Pred> queries_;
   Sink* sink_;
 
   SpscQueue<FlowMsg<R>>* left_in_;
@@ -358,6 +431,11 @@ class LlhjNode : public Steppable {
 
   FlatSet<Seq> tombstones_r_;
   FlatSet<Seq> tombstones_s_;
+
+  // Scratch buffers of the batch arrival paths (reused across steps).
+  std::vector<Stamped<R>> probe_r_;
+  std::vector<Stamped<S>> probe_s_;
+  std::vector<FlowMsg<R>> ack_buf_;
 
   Counters counters_;
   std::atomic<uint64_t> processed_{0};

@@ -20,6 +20,7 @@
 #include "stream/hwm.hpp"
 #include "stream/message.hpp"
 #include "stream/ports.hpp"
+#include "stream/query_set.hpp"
 #include "stream/sink.hpp"
 
 namespace sjoin {
@@ -42,9 +43,17 @@ class LlhjPipeline {
   };
 
   explicit LlhjPipeline(const Options& options, Pred pred = Pred{})
-      : options_(options) {
+      : LlhjPipeline(options, QuerySet<Pred>(pred)) {}
+
+  /// Multi-query pipeline: every window crossing evaluates all predicates
+  /// of `queries` in one store traversal; results carry the QueryId.
+  LlhjPipeline(const Options& options, const QuerySet<Pred>& queries)
+      : options_(options), queries_(queries) {
     const int n = options_.nodes;
     if (n < 1) throw std::invalid_argument("pipeline needs >= 1 node");
+    if (queries_.empty()) {
+      throw std::invalid_argument("pipeline needs >= 1 registered query");
+    }
 
     l2r_.reserve(static_cast<std::size_t>(n));
     r2l_.reserve(static_cast<std::size_t>(n));
@@ -68,7 +77,7 @@ class LlhjPipeline {
       config.home_s = home_s;
       config.msgs_per_step = options_.msgs_per_step;
       nodes_.push_back(std::make_unique<Node>(
-          config, pred, sinks_[static_cast<std::size_t>(k)].get(),
+          config, queries_, sinks_[static_cast<std::size_t>(k)].get(),
           /*left_in=*/l2r_[static_cast<std::size_t>(k)].get(),
           /*right_out=*/k + 1 < n ? l2r_[static_cast<std::size_t>(k) + 1].get()
                                   : nullptr,
@@ -104,6 +113,7 @@ class LlhjPipeline {
 
   const HighWaterMarks& hwm() const { return hwm_; }
   const Options& options() const { return options_; }
+  const QuerySet<Pred>& queries() const { return queries_; }
   const Node& node(int k) const { return *nodes_[static_cast<std::size_t>(k)]; }
 
   /// Sum of anomaly counters across nodes — tests require 0.
@@ -148,6 +158,7 @@ class LlhjPipeline {
 
  private:
   Options options_;
+  QuerySet<Pred> queries_;
   std::vector<std::unique_ptr<SpscQueue<FlowMsg<R>>>> l2r_;
   std::vector<std::unique_ptr<SpscQueue<FlowMsg<S>>>> r2l_;
   std::vector<std::unique_ptr<SpscQueue<ResultMsg<R, S>>>> result_queues_;

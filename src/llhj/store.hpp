@@ -104,6 +104,21 @@ class VectorStore {
     for (std::size_t i = 0; i < size_; ++i) f(At(i));
   }
 
+  /// Batch probe: evaluates `n` probes against the store in ONE traversal.
+  /// Entry-major order — each entry is loaded once and tested against every
+  /// probe while it is register/cache resident, so a burst of k arrivals
+  /// costs one window walk instead of k. probe_at(j) yields probe j (scan
+  /// store: only used by the callback); f(j, entry) is called for every
+  /// (probe, entry) combination.
+  template <typename ProbeAt, typename F>
+  void ForEachBatch(std::size_t n, ProbeAt&& probe_at, F&& f) const {
+    (void)probe_at;  // scan store: the callback already knows its probes
+    for (std::size_t i = 0; i < size_; ++i) {
+      const StoreEntry<T>& entry = At(i);
+      for (std::size_t j = 0; j < n; ++j) f(j, entry);
+    }
+  }
+
   std::size_t size() const { return size_; }
 
   std::size_t expedited_count() const {
@@ -201,6 +216,17 @@ class HashStore {
     }
   }
 
+  /// Batch probe. A hash index visits a per-probe chain, so the traversal
+  /// is probe-major (there is no shared walk to amortize); the batch form
+  /// still saves the per-message dispatch around it.
+  template <typename ProbeAt, typename F>
+  void ForEachBatch(std::size_t n, ProbeAt&& probe_at, F&& f) const {
+    for (std::size_t j = 0; j < n; ++j) {
+      ForEach(probe_at(j),
+              [&](const StoreEntry<T>& entry) { f(j, entry); });
+    }
+  }
+
   std::size_t size() const { return size_; }
 
  private:
@@ -282,6 +308,15 @@ class OrderedStore {
     auto it = tree_.lower_bound(ProbeLow{}(probe));
     const auto end = tree_.upper_bound(ProbeHigh{}(probe));
     for (; it != end; ++it) f(it->second);
+  }
+
+  /// Batch probe (probe-major: each probe has its own key range).
+  template <typename ProbeAt, typename F>
+  void ForEachBatch(std::size_t n, ProbeAt&& probe_at, F&& f) const {
+    for (std::size_t j = 0; j < n; ++j) {
+      ForEach(probe_at(j),
+              [&](const StoreEntry<T>& entry) { f(j, entry); });
+    }
   }
 
   std::size_t size() const { return tree_.size(); }

@@ -208,4 +208,51 @@ std::size_t DrainBurstBudget(SpscQueue<T>* queue, std::size_t budget,
   return done;
 }
 
+/// Batch-aware variant of DrainBurstBudget: maximal runs of messages for
+/// which `is_batchable` holds are handed as a whole to
+/// `batch_handler(T* run, std::size_t len)`, which processes a prefix in
+/// place and returns its length (less than `len` defers the rest — they
+/// stay at the channel front, preserving FIFO order). Every other message
+/// goes through `handler` with the DrainBurstBudget contract. This is what
+/// lets pipeline nodes probe an arrival burst against their window store in
+/// one pass instead of once per message.
+template <typename T, typename IsBatchable, typename BatchHandler,
+          typename Handler>
+std::size_t DrainBurstBudgetBatched(SpscQueue<T>* queue, std::size_t budget,
+                                    IsBatchable&& is_batchable,
+                                    BatchHandler&& batch_handler,
+                                    Handler&& handler) {
+  std::size_t done = 0;
+  while (budget > 0) {
+    T* msgs = nullptr;
+    std::size_t n = queue->PeekBurst(&msgs);
+    if (n == 0) break;
+    n = std::min(n, budget);
+    std::size_t i = 0;
+    bool deferred = false;
+    while (i < n) {
+      if (is_batchable(msgs[i])) {
+        std::size_t run = 1;
+        while (i + run < n && is_batchable(msgs[i + run])) ++run;
+        const std::size_t did = batch_handler(&msgs[i], run);
+        i += did;
+        if (did < run) {
+          deferred = true;
+          break;
+        }
+      } else if (handler(&msgs[i])) {
+        ++i;
+      } else {
+        deferred = true;
+        break;
+      }
+    }
+    queue->ConsumeBurst(i);
+    done += i;
+    budget -= i;
+    if (deferred || i < n) break;
+  }
+  return done;
+}
+
 }  // namespace sjoin

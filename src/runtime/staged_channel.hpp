@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -39,6 +40,18 @@ class StagedChannel {
   bool Available(std::size_t slack) const {
     if (queue_ == nullptr) return true;
     return staged() == 0 && queue_->FreeApprox() >= slack;
+  }
+
+  /// How many arrivals may be consumed back to back before the channel
+  /// risks blocking: each arrival forwards at most one message downstream,
+  /// so a run of k arrivals needs `slack` free slots for the first plus one
+  /// more per additional arrival. 0 while anything is staged (same deferral
+  /// rule as Available); unbounded on a disconnected pipeline end.
+  std::size_t ArrivalBudget(std::size_t slack) const {
+    if (queue_ == nullptr) return std::numeric_limits<std::size_t>::max();
+    if (staged() != 0) return 0;
+    const std::size_t free = queue_->FreeApprox();
+    return free >= slack ? free - slack + 1 : 0;
   }
 
   /// Enqueues, staging locally when the channel is full. Order-preserving.

@@ -37,17 +37,22 @@ class Collector : public Steppable {
         hwm_(hwm),
         punctuate_(punctuate && hwm != nullptr) {}
 
-  /// One vacuum round. Returns the number of results forwarded.
+  /// One vacuum round. Returns the number of results forwarded. Queues are
+  /// drained in bursts (one consumer-index update per run, not per result),
+  /// mirroring the burst transport of the pipeline channels.
   std::size_t VacuumOnce() {
     Timestamp tp = kMinTimestamp;
     if (punctuate_) tp = hwm_->SafeMin();  // step 1: read marks first
 
     std::size_t drained = 0;
     for (auto* queue : queues_) {  // step 2: vacuum
-      ResultMsg<R, S> msg;
-      while (queue->TryPop(&msg)) {
-        handler_->OnResult(msg);
-        ++drained;
+      for (;;) {
+        ResultMsg<R, S>* run = nullptr;
+        const std::size_t n = queue->PeekBurst(&run);
+        if (n == 0) break;
+        for (std::size_t i = 0; i < n; ++i) handler_->OnResult(run[i]);
+        queue->ConsumeBurst(n);
+        drained += n;
       }
     }
     total_ += drained;

@@ -87,6 +87,52 @@ class LatencyRecorder : public OutputHandler<R, S> {
   TimeSeriesStat series_;
 };
 
+/// Demultiplexes the merged result stream of a multi-query session onto the
+/// per-query sinks: results are routed by their QueryId tag, punctuations
+/// (a property of the shared windows, not of any one query) are broadcast
+/// to every registered handler. A null handler is allowed — that query's
+/// results are counted but dropped (count-only queries).
+template <typename R, typename S>
+class QueryRouter : public OutputHandler<R, S> {
+ public:
+  /// Registers the sink of the next query; returns its dense QueryId.
+  QueryId Register(OutputHandler<R, S>* handler) {
+    handlers_.push_back(handler);
+    counts_.push_back(0);
+    return static_cast<QueryId>(handlers_.size() - 1);
+  }
+
+  void OnResult(const ResultMsg<R, S>& result) override {
+    if (result.query >= handlers_.size()) {
+      ++misrouted_;  // must stay 0; a non-zero count is a pipeline bug
+      return;
+    }
+    ++counts_[result.query];
+    ++total_;
+    OutputHandler<R, S>* handler = handlers_[result.query];
+    if (handler != nullptr) handler->OnResult(result);
+  }
+
+  void OnPunctuation(Timestamp tp) override {
+    for (OutputHandler<R, S>* handler : handlers_) {
+      if (handler != nullptr) handler->OnPunctuation(tp);
+    }
+  }
+
+  std::size_t query_count() const { return handlers_.size(); }
+  uint64_t collected(QueryId q) const {
+    return q < counts_.size() ? counts_[q] : 0;
+  }
+  uint64_t total_collected() const { return total_; }
+  uint64_t misrouted() const { return misrouted_; }
+
+ private:
+  std::vector<OutputHandler<R, S>*> handlers_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  uint64_t misrouted_ = 0;
+};
+
 /// Fans one stream out to two handlers.
 template <typename R, typename S>
 class TeeHandler : public OutputHandler<R, S> {

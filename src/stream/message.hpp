@@ -54,6 +54,14 @@ struct FlowMsg {
   T payload{};
 };
 
+/// True for tuple-arrival messages — the batchable kind of both pipeline
+/// protocols (runs of arrivals are probed against the window stores in one
+/// pass; control messages are handled one by one).
+template <typename T>
+constexpr bool IsArrival(const FlowMsg<T>& m) {
+  return m.kind == MsgKind::kArrival;
+}
+
 /// Builds an arrival message from a stamped tuple.
 template <typename T>
 FlowMsg<T> MakeArrival(const Stamped<T>& t) {
@@ -78,6 +86,7 @@ struct ResultMsg {
   Timestamp ts = 0;
   int64_t ready_wall_ns = 0;
   NodeId origin = kNoNode;  ///< node that evaluated the predicate
+  QueryId query = 0;        ///< which registered query this pair satisfied
 };
 
 template <typename R, typename S>

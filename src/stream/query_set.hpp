@@ -1,0 +1,68 @@
+// The set of predicates a join pipeline evaluates at every window crossing.
+// Multi-query sharing (ROADMAP): one pipeline owns the windows, transport
+// and driver; N registered queries of the same predicate *type* (band/equi
+// predicates with different parameters) are evaluated against each crossing
+// pair in a single store traversal, and every match is tagged with the
+// QueryId that produced it. The set is frozen before the pipeline starts —
+// nodes take an immutable copy, so the hot path reads a plain contiguous
+// vector with no synchronization.
+//
+// Indexed stores (HashStore/OrderedStore) narrow the visited entries by the
+// *store's* key extractor, which is shared by all queries; registering
+// queries whose match set is not contained in the index probe range is a
+// configuration error of the caller (exactly as for a single query).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sjoin {
+
+template <typename Pred>
+class QuerySet {
+ public:
+  QuerySet() = default;
+  /// Single-query set (the classic StreamJoiner configuration).
+  explicit QuerySet(Pred pred) { preds_.push_back(pred); }
+  explicit QuerySet(std::vector<Pred> preds) : preds_(std::move(preds)) {}
+
+  /// Registers one predicate; returns its dense id (registration order).
+  QueryId Add(const Pred& pred) {
+    preds_.push_back(pred);
+    return static_cast<QueryId>(preds_.size() - 1);
+  }
+
+  std::size_t size() const { return preds_.size(); }
+  bool empty() const { return preds_.empty(); }
+
+  const Pred& pred(QueryId q) const { return preds_[q]; }
+
+  /// Evaluates every registered predicate on (r, s); calls f(QueryId) for
+  /// each query that matches. This is the per-crossing hot path: one pair
+  /// load, N predicate evaluations.
+  template <typename RV, typename SV, typename F>
+  void Match(const RV& r, const SV& s, F&& f) const {
+    for (QueryId q = 0; q < preds_.size(); ++q) {
+      if (preds_[q](r, s)) f(q);
+    }
+  }
+
+  /// True iff any registered predicate matches (baseline engines run with
+  /// this as their single "union" predicate and fan matches out per query
+  /// at the sink).
+  template <typename RV, typename SV>
+  bool AnyMatch(const RV& r, const SV& s) const {
+    for (const Pred& p : preds_) {
+      if (p(r, s)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Pred> preds_;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,419 @@
+// Tests for the multi-query, batch-first JoinSession API:
+//  * config validation (clear std::invalid_argument on nonsense configs),
+//  * query-set rules (register before start, at least one query),
+//  * multi-query equivalence: one session with Q predicates produces
+//    exactly the union of Q independent StreamJoiners (per-query result
+//    sets compared, threaded and non-threaded, all engines),
+//  * batch PushR/PushS equivalence with the per-tuple loop,
+//  * QueryId routing and punctuation broadcast.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "core/join_session.hpp"
+#include "core/stream_joiner.hpp"
+
+#include "test_util.hpp"
+
+namespace sjoin {
+namespace {
+
+using test::KeyBand;
+using test::KeyEq;
+using test::MakeRandomTrace;
+using test::SameResultSet;
+using test::TR;
+using test::TraceConfig;
+using test::TS;
+
+JoinConfig BaseConfig(Algorithm algorithm, WindowSpec wr, WindowSpec ws,
+                      bool threaded, int parallelism = 3) {
+  JoinConfig config;
+  config.algorithm = algorithm;
+  config.parallelism = parallelism;
+  config.window_r = wr;
+  config.window_s = ws;
+  config.threaded = threaded;
+  config.hsj_window_tuples_hint = 16;
+  return config;
+}
+
+/// Pushes a trace event by event (per-tuple path).
+template <typename Joinable>
+void FeedPerTuple(Joinable& join, const Trace<TR, TS>& trace) {
+  for (const auto& e : trace) {
+    if (e.side == StreamSide::kR) {
+      join.PushR(e.r, e.ts);
+    } else {
+      join.PushS(e.s, e.ts);
+    }
+  }
+}
+
+/// Pushes a trace as batch spans: maximal same-side runs (capped at
+/// `max_batch`) are handed to the span overloads.
+template <typename Joinable>
+void FeedBatched(Joinable& join, const Trace<TR, TS>& trace,
+                 std::size_t max_batch) {
+  std::vector<TR> rs;
+  std::vector<TS> ss;
+  std::vector<Timestamp> tss;
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const StreamSide side = trace[i].side;
+    rs.clear();
+    ss.clear();
+    tss.clear();
+    while (i < trace.size() && trace[i].side == side &&
+           tss.size() < max_batch) {
+      if (side == StreamSide::kR) {
+        rs.push_back(trace[i].r);
+      } else {
+        ss.push_back(trace[i].s);
+      }
+      tss.push_back(trace[i].ts);
+      ++i;
+    }
+    if (side == StreamSide::kR) {
+      join.PushR(std::span<const TR>(rs), std::span<const Timestamp>(tss));
+    } else {
+      join.PushS(std::span<const TS>(ss), std::span<const Timestamp>(tss));
+    }
+  }
+}
+
+/// The per-query oracle: an independent single-query StreamJoiner (Kang)
+/// over the same trace and windows.
+std::vector<ResultMsg<TR, TS>> OracleFor(const Trace<TR, TS>& trace,
+                                         WindowSpec wr, WindowSpec ws,
+                                         KeyBand pred) {
+  CollectingHandler<TR, TS> handler;
+  StreamJoiner<TR, TS, KeyBand> joiner(
+      BaseConfig(Algorithm::kKang, wr, ws, /*threaded=*/false), &handler,
+      pred);
+  FeedPerTuple(joiner, trace);
+  joiner.FinishInput();
+  return handler.results();
+}
+
+// -- Config validation -------------------------------------------------------
+
+TEST(SessionValidation, RejectsNonPositiveParallelism) {
+  JoinConfig config;
+  config.parallelism = 0;
+  EXPECT_THROW(ValidateJoinConfig(config), std::invalid_argument);
+  config.parallelism = -3;
+  try {
+    ValidateJoinConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("parallelism"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
+TEST(SessionValidation, RejectsZeroCapacities) {
+  JoinConfig config;
+  config.channel_capacity = 0;
+  try {
+    ValidateJoinConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("channel_capacity"),
+              std::string::npos);
+  }
+  config.channel_capacity = 1024;
+  config.result_capacity = 0;
+  try {
+    ValidateJoinConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("result_capacity"),
+              std::string::npos);
+  }
+}
+
+TEST(SessionValidation, RejectsTimeWindowHsjWithoutHint) {
+  JoinConfig config;
+  config.algorithm = Algorithm::kHandshake;
+  config.window_r = WindowSpec::Time(1'000'000);
+  config.window_s = WindowSpec::Count(128);
+  config.hsj_window_tuples_hint = 0;
+  try {
+    ValidateJoinConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("hsj_window_tuples_hint"),
+              std::string::npos);
+  }
+  // The hint fixes it; count windows never need it.
+  config.hsj_window_tuples_hint = 64;
+  EXPECT_NO_THROW(ValidateJoinConfig(config));
+  config.hsj_window_tuples_hint = 0;
+  config.window_r = WindowSpec::Count(128);
+  EXPECT_NO_THROW(ValidateJoinConfig(config));
+  // LLHJ sizes nothing from the hint — time windows are fine without it.
+  config.algorithm = Algorithm::kLowLatency;
+  config.window_r = WindowSpec::Time(1'000'000);
+  EXPECT_NO_THROW(ValidateJoinConfig(config));
+}
+
+TEST(SessionValidation, ConstructorValidates) {
+  JoinConfig config;
+  config.parallelism = 0;
+  EXPECT_THROW((JoinSession<TR, TS, KeyEq>(config)), std::invalid_argument);
+  CollectingHandler<TR, TS> handler;
+  EXPECT_THROW((StreamJoiner<TR, TS, KeyEq>(config, &handler)),
+               std::invalid_argument);
+}
+
+TEST(SessionValidation, QuerySetRules) {
+  JoinConfig config;
+  config.threaded = false;
+  JoinSession<TR, TS, KeyEq> session(config);
+  // No queries registered: pushing is a usage error.
+  EXPECT_THROW(session.PushR(TR{1, 0}, 0), std::logic_error);
+  session.AddQuery(KeyEq{}, nullptr);
+  session.PushR(TR{1, 0}, 0);
+  // The set is frozen once ingestion starts.
+  EXPECT_THROW(session.AddQuery(KeyEq{}, nullptr), std::logic_error);
+}
+
+// -- Multi-query equivalence -------------------------------------------------
+
+class SessionAlgorithms : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(SessionAlgorithms, MultiQueryMatchesIndependentJoinersNonThreaded) {
+  TraceConfig tc;
+  tc.events = 300;
+  tc.key_domain = 8;
+  auto trace = MakeRandomTrace(171, tc);
+  const WindowSpec wr = WindowSpec::Time(50);
+  const WindowSpec ws = WindowSpec::Time(50);
+  const std::vector<KeyBand> preds = {KeyBand{0}, KeyBand{1}, KeyBand{3}};
+
+  JoinSession<TR, TS, KeyBand> session(
+      BaseConfig(GetParam(), wr, ws, /*threaded=*/false));
+  std::vector<CollectingHandler<TR, TS>> handlers(preds.size());
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    auto handle = session.AddQuery(preds[q], &handlers[q]);
+    EXPECT_EQ(handle.id, q);
+  }
+  FeedPerTuple(session, trace);
+  session.FinishInput();
+  session.Poll();
+  EXPECT_EQ(session.pipeline_anomalies(), 0u);
+
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    auto expected = OracleFor(trace, wr, ws, preds[q]);
+    EXPECT_FALSE(expected.empty()) << "weak oracle for query " << q;
+    EXPECT_TRUE(SameResultSet(expected, handlers[q].results()))
+        << "query " << q << " (band " << preds[q].width << ")";
+    EXPECT_EQ(session.results_collected(static_cast<QueryId>(q)),
+              handlers[q].results().size());
+    for (const auto& m : handlers[q].results()) {
+      EXPECT_EQ(m.query, q);
+    }
+  }
+}
+
+TEST_P(SessionAlgorithms, MultiQueryMatchesIndependentJoinersThreaded) {
+  TraceConfig tc;
+  tc.events = 500;
+  tc.key_domain = 8;
+  auto trace = MakeRandomTrace(172, tc);
+  // Count windows well above pipeline buffering (bounded-lag regime).
+  const WindowSpec wr = WindowSpec::Count(120);
+  const WindowSpec ws = WindowSpec::Count(120);
+  const std::vector<KeyBand> preds = {KeyBand{0}, KeyBand{2}};
+
+  JoinSession<TR, TS, KeyBand> session(
+      BaseConfig(GetParam(), wr, ws, /*threaded=*/true));
+  std::vector<CollectingHandler<TR, TS>> handlers(preds.size());
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    session.AddQuery(preds[q], &handlers[q]);
+  }
+  FeedPerTuple(session, trace);
+  session.FinishInput();
+  session.Stop();
+  EXPECT_EQ(session.pipeline_anomalies(), 0u);
+
+  for (std::size_t q = 0; q < preds.size(); ++q) {
+    auto expected = OracleFor(trace, wr, ws, preds[q]);
+    EXPECT_TRUE(SameResultSet(expected, handlers[q].results()))
+        << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SessionAlgorithms,
+    ::testing::Values(Algorithm::kKang, Algorithm::kCellJoin,
+                      Algorithm::kHandshake, Algorithm::kLowLatency),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return std::string(ToString(info.param));
+    });
+
+// -- Batch push equivalence --------------------------------------------------
+
+class BatchPush : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(BatchPush, SpansMatchPerTupleLoopNonThreaded) {
+  TraceConfig tc;
+  tc.events = 400;
+  tc.key_domain = 6;
+  tc.r_fraction = 0.55;  // uneven sides => longer same-side runs
+  auto trace = MakeRandomTrace(173, tc);
+  const WindowSpec wr = WindowSpec::Time(60);
+  const WindowSpec ws = WindowSpec::Time(60);
+
+  CollectingHandler<TR, TS> per_tuple;
+  {
+    StreamJoiner<TR, TS, KeyEq> joiner(
+        BaseConfig(GetParam(), wr, ws, /*threaded=*/false), &per_tuple);
+    FeedPerTuple(joiner, trace);
+    joiner.FinishInput();
+    EXPECT_EQ(joiner.pipeline_anomalies(), 0u);
+  }
+
+  for (std::size_t max_batch : {1u, 7u, 64u}) {
+    CollectingHandler<TR, TS> batched;
+    StreamJoiner<TR, TS, KeyEq> joiner(
+        BaseConfig(GetParam(), wr, ws, /*threaded=*/false), &batched);
+    FeedBatched(joiner, trace, max_batch);
+    joiner.FinishInput();
+    EXPECT_EQ(joiner.pipeline_anomalies(), 0u);
+    EXPECT_TRUE(SameResultSet(per_tuple.results(), batched.results()))
+        << "max_batch " << max_batch;
+  }
+}
+
+TEST_P(BatchPush, SpansMatchPerTupleLoopThreaded) {
+  TraceConfig tc;
+  tc.events = 600;
+  tc.key_domain = 8;
+  auto trace = MakeRandomTrace(174, tc);
+  const WindowSpec wr = WindowSpec::Count(150);
+  const WindowSpec ws = WindowSpec::Count(150);
+
+  CollectingHandler<TR, TS> per_tuple;
+  {
+    StreamJoiner<TR, TS, KeyEq> joiner(
+        BaseConfig(GetParam(), wr, ws, /*threaded=*/false), &per_tuple);
+    FeedPerTuple(joiner, trace);
+    joiner.FinishInput();
+  }
+
+  CollectingHandler<TR, TS> batched;
+  StreamJoiner<TR, TS, KeyEq> joiner(
+      BaseConfig(GetParam(), wr, ws, /*threaded=*/true), &batched);
+  FeedBatched(joiner, trace, 32);
+  joiner.FinishInput();
+  joiner.Stop();
+  EXPECT_EQ(joiner.pipeline_anomalies(), 0u);
+  EXPECT_TRUE(SameResultSet(per_tuple.results(), batched.results()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PipelineAlgorithms, BatchPush,
+    ::testing::Values(Algorithm::kHandshake, Algorithm::kLowLatency),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return std::string(ToString(info.param));
+    });
+
+TEST_P(BatchPush, TinyCountWindowsMatchPerTupleLoopNonThreaded) {
+  // Regression: count windows below the entry-channel capacity floor (8)
+  // force an expiry on nearly every arrival; the batch path must not let
+  // the driver run a window ahead of the undrained pipeline (HSJ
+  // bounded-lag exactness — the scalar path drains after every push).
+  TraceConfig tc;
+  tc.events = 500;
+  tc.key_domain = 4;
+  auto trace = MakeRandomTrace(176, tc);
+  for (int64_t window : {2, 4, 6}) {
+    const WindowSpec wr = WindowSpec::Count(window);
+    const WindowSpec ws = WindowSpec::Count(window);
+    CollectingHandler<TR, TS> per_tuple;
+    {
+      StreamJoiner<TR, TS, KeyEq> joiner(
+          BaseConfig(GetParam(), wr, ws, /*threaded=*/false), &per_tuple);
+      FeedPerTuple(joiner, trace);
+      joiner.FinishInput();
+      ASSERT_EQ(joiner.pipeline_anomalies(), 0u) << "window " << window;
+    }
+    CollectingHandler<TR, TS> batched;
+    StreamJoiner<TR, TS, KeyEq> joiner(
+        BaseConfig(GetParam(), wr, ws, /*threaded=*/false), &batched);
+    FeedBatched(joiner, trace, 64);
+    joiner.FinishInput();
+    EXPECT_EQ(joiner.pipeline_anomalies(), 0u) << "window " << window;
+    EXPECT_TRUE(SameResultSet(per_tuple.results(), batched.results()))
+        << "window " << window;
+  }
+}
+
+TEST(BatchPushApi, MismatchedSpansThrow) {
+  JoinConfig config;
+  config.threaded = false;
+  JoinSession<TR, TS, KeyEq> session(config);
+  session.AddQuery(KeyEq{}, nullptr);
+  std::vector<TR> rs(3);
+  std::vector<Timestamp> tss(2);
+  EXPECT_THROW(session.PushR(std::span<const TR>(rs),
+                             std::span<const Timestamp>(tss)),
+               std::invalid_argument);
+}
+
+// -- Routing details ---------------------------------------------------------
+
+TEST(SessionRouting, NullHandlerCountsOnly) {
+  JoinConfig config;
+  config.threaded = false;
+  config.window_r = WindowSpec::Count(16);
+  config.window_s = WindowSpec::Count(16);
+  JoinSession<TR, TS, KeyEq> session(config);
+  CollectingHandler<TR, TS> collected;
+  auto q0 = session.AddQuery(KeyEq{}, nullptr);       // count only
+  auto q1 = session.AddQuery(KeyEq{}, &collected);    // same predicate
+  session.PushR(TR{7, 0}, 0);
+  session.PushS(TS{7, 1}, 1);
+  session.FinishInput();
+  EXPECT_EQ(session.results_collected(q0.id), 1u);
+  EXPECT_EQ(session.results_collected(q1.id), 1u);
+  ASSERT_EQ(collected.results().size(), 1u);
+  EXPECT_EQ(collected.results()[0].query, q1.id);
+  EXPECT_EQ(session.results_collected(), 2u);
+}
+
+TEST(SessionRouting, PunctuationsBroadcastToAllQueries) {
+  TraceConfig tc;
+  tc.events = 200;
+  tc.key_domain = 4;
+  auto trace = MakeRandomTrace(175, tc);
+  JoinConfig config;
+  config.algorithm = Algorithm::kLowLatency;
+  config.parallelism = 3;
+  config.window_r = WindowSpec::Time(60);
+  config.window_s = WindowSpec::Time(60);
+  config.punctuate = true;
+  config.threaded = false;
+  JoinSession<TR, TS, KeyBand> session(config);
+  CollectingHandler<TR, TS> h0;
+  CollectingHandler<TR, TS> h1;
+  session.AddQuery(KeyBand{0}, &h0);
+  session.AddQuery(KeyBand{2}, &h1);
+  for (const auto& e : trace) {
+    if (e.side == StreamSide::kR) {
+      session.PushR(e.r, e.ts);
+    } else {
+      session.PushS(e.s, e.ts);
+    }
+    session.Poll();
+  }
+  session.FinishInput();
+  EXPECT_GT(h0.punctuations().size(), 0u);
+  EXPECT_EQ(h0.punctuations(), h1.punctuations());
+}
+
+}  // namespace
+}  // namespace sjoin
