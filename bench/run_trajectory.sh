@@ -3,7 +3,7 @@
 # appends host-tagged JSON rows to the repo's BENCH_*.json files, so
 # performance regressions stay visible across PRs.
 #
-#   bench/run_trajectory.sh [build_dir]
+#   bench/run_trajectory.sh [--smoke] [build_dir]
 #
 # Tracked:
 #   micro_runtime        -> BENCH_MICRO_RUNTIME.json   (google-benchmark
@@ -13,11 +13,23 @@
 #   fig17_throughput     -> BENCH_FIG17_THROUGHPUT.json      (appended)
 #   fig19_llhj_latency   -> BENCH_FIG19_LLHJ_LATENCY.json    (appended)
 #   ablation_multi_query -> BENCH_ABLATION_MULTI_QUERY.json  (appended)
+#   ablation_simd_probe  -> BENCH_ABLATION_SIMD_PROBE.json   (appended)
+#
+# --smoke: CI mode. Runs every tracked bench at short duration, writes the
+# JSON rows to a throwaway directory instead of the repo trajectory files,
+# and FAILS if any bench that was built emits no JSON row — so the BENCH_*
+# automation cannot silently rot. The repo files are never touched.
 #
 # Row tags: every appended row carries "host" and "stamp" fields (see
 # JsonEmitter in bench/bench_common.hpp). Override the sizing knobs through
 # the environment, e.g. DURATION=20 NODES=4 bench/run_trajectory.sh.
 set -euo pipefail
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  shift
+fi
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
@@ -31,8 +43,27 @@ NODES="${NODES:-2}"
 RATE="${RATE:-3000}"
 PUSH_TUPLES="${PUSH_TUPLES:-20000}"
 MQ_TUPLES="${MQ_TUPLES:-20000}"
+FIG17_NODES="${FIG17_NODES:-1,2,4}"  # fig17 sweeps a node-count list
+FIG17_DURATION="${FIG17_DURATION:-2}"
+FIG19_BATCH="${FIG19_BATCH:-1}"      # matches the existing trajectory rows
+SIMD_WINDOW="${SIMD_WINDOW:-16384}"
+SIMD_DURATION="${SIMD_DURATION:-0.4}"
+
+OUT="$ROOT"
+if [[ "$SMOKE" == "1" ]]; then
+  OUT="$(mktemp -d)"
+  DURATION=1
+  FIG17_DURATION=0.5
+  FIG17_NODES=1
+  PUSH_TUPLES=4000
+  MQ_TUPLES=3000
+  SIMD_WINDOW=2048
+  SIMD_DURATION=0.05
+  echo "smoke mode: rows -> $OUT (repo BENCH_*.json untouched)"
+fi
 
 TAGS=(--host_tag="$HOST_TAG" --stamp="$STAMP")
+FAILED=0
 
 run() {
   local bin="$1"
@@ -45,26 +76,49 @@ run() {
   "$BUILD/$bin" "$@"
 }
 
+# In smoke mode every bench that ran must have produced at least one row.
+check_rows() {
+  local bin="$1" file="$2"
+  [[ "$SMOKE" == "1" ]] || return 0
+  [[ -x "$BUILD/$bin" ]] || return 0
+  if [[ ! -s "$file" ]]; then
+    echo "FAIL: $bin emitted no JSON row ($file empty or missing)"
+    FAILED=1
+  fi
+}
+
 # google-benchmark microbenches: one JSON document per run, regenerated.
 if [[ -x "$BUILD/micro_runtime" ]]; then
   echo "== micro_runtime"
-  "$BUILD/micro_runtime" --benchmark_out="$ROOT/BENCH_MICRO_RUNTIME.json" \
-    --benchmark_out_format=json
+  GBENCH_ARGS=()
+  # Plain-seconds form: accepted by both pre-1.7 and current gbench.
+  [[ "$SMOKE" == "1" ]] && GBENCH_ARGS+=(--benchmark_min_time=0.05)
+  "$BUILD/micro_runtime" --benchmark_out="$OUT/BENCH_MICRO_RUNTIME.json" \
+    --benchmark_out_format=json "${GBENCH_ARGS[@]}"
+  check_rows micro_runtime "$OUT/BENCH_MICRO_RUNTIME.json"
 else
   echo "SKIP micro_runtime (google-benchmark not available at configure time)"
 fi
 
-FIG17_NODES="${FIG17_NODES:-1,2,4}"  # fig17 sweeps a node-count list
-FIG17_DURATION="${FIG17_DURATION:-2}"
 run fig17_throughput --duration="$FIG17_DURATION" --nodes="$FIG17_NODES" \
-  --json_out="$ROOT/BENCH_FIG17_THROUGHPUT.json" "${TAGS[@]}"
+  --json_out="$OUT/BENCH_FIG17_THROUGHPUT.json" "${TAGS[@]}"
+check_rows fig17_throughput "$OUT/BENCH_FIG17_THROUGHPUT.json"
 
-FIG19_BATCH="${FIG19_BATCH:-1}"  # matches the existing trajectory rows
 run fig19_llhj_latency --duration="$DURATION" --nodes="$NODES" \
   --rate="$RATE" --batch="$FIG19_BATCH" --push_tuples="$PUSH_TUPLES" \
-  --json_out="$ROOT/BENCH_FIG19_LLHJ_LATENCY.json" "${TAGS[@]}"
+  --json_out="$OUT/BENCH_FIG19_LLHJ_LATENCY.json" "${TAGS[@]}"
+check_rows fig19_llhj_latency "$OUT/BENCH_FIG19_LLHJ_LATENCY.json"
 
 run ablation_multi_query --tuples="$MQ_TUPLES" --nodes="$NODES" \
-  --json_out="$ROOT/BENCH_ABLATION_MULTI_QUERY.json" "${TAGS[@]}"
+  --json_out="$OUT/BENCH_ABLATION_MULTI_QUERY.json" "${TAGS[@]}"
+check_rows ablation_multi_query "$OUT/BENCH_ABLATION_MULTI_QUERY.json"
 
-echo "trajectory updated: host=$HOST_TAG stamp=$STAMP"
+run ablation_simd_probe --window="$SIMD_WINDOW" --duration="$SIMD_DURATION" \
+  --json_out="$OUT/BENCH_ABLATION_SIMD_PROBE.json" "${TAGS[@]}"
+check_rows ablation_simd_probe "$OUT/BENCH_ABLATION_SIMD_PROBE.json"
+
+if [[ "$FAILED" == "1" ]]; then
+  echo "trajectory smoke FAILED: at least one tracked bench emitted no rows"
+  exit 1
+fi
+echo "trajectory updated: host=$HOST_TAG stamp=$STAMP out=$OUT"

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/fixed_string.hpp"
+#include "common/simd.hpp"
 
 namespace sjoin {
 
@@ -79,5 +80,78 @@ struct SBandHighForR {
 
 static_assert(sizeof(RTuple) == 28 || sizeof(RTuple) == 32,
               "RTuple should stay a small POD");
+
+// ---------------------------------------------------------------------------
+// SIMD probe mappings (common/simd.hpp) for the benchmark schema: the hot
+// predicate columns each tuple contributes to the store's SoA lanes, and
+// how the band/equi predicates decompose into packed-compare sweeps per
+// probe direction. The decompositions perform exactly the scalar
+// predicates' arithmetic on the side where the scalar code computes it, so
+// kernel-driven result sets are bit-identical to the scalar path.
+// ---------------------------------------------------------------------------
+
+template <>
+struct SimdEntryLanes<RTuple> {
+  static constexpr bool kEnabled = true;
+  static constexpr bool kHasF32 = true;
+  static int32_t K0(const RTuple& r) { return r.x; }
+  static float K1(const RTuple& r) { return r.y; }
+};
+
+template <>
+struct SimdEntryLanes<STuple> {
+  static constexpr bool kEnabled = true;
+  static constexpr bool kHasF32 = true;
+  static int32_t K0(const STuple& s) { return s.a; }
+  static float K1(const STuple& s) { return s.b; }
+};
+
+/// R probes the S window: the band bounds (s.a +- x_band, s.b +- y_band)
+/// are computed from the ENTRY, exactly like the scalar predicate.
+template <>
+struct SimdProbeTraits<BandPredicate, RTuple, STuple> {
+  static constexpr bool kEnabled = true;
+  static constexpr SimdPredShape kShape = SimdPredShape::kBandEntry;
+  static constexpr bool kUseF32 = true;
+  static int32_t Band0(const BandPredicate& p) { return p.x_band; }
+  static float Band1(const BandPredicate& p) { return p.y_band; }
+  static int32_t P0(const RTuple& r) { return r.x; }
+  static float P1(const RTuple& r) { return r.y; }
+};
+
+/// S probes the R window: the same terms now have the band arithmetic on
+/// the PROBE side — hoisted to scalars once per (probe, query).
+template <>
+struct SimdProbeTraits<BandPredicate, STuple, RTuple> {
+  static constexpr bool kEnabled = true;
+  static constexpr SimdPredShape kShape = SimdPredShape::kBandProbe;
+  static constexpr bool kUseF32 = true;
+  static int32_t Lo0(const BandPredicate& p, const STuple& s) {
+    return s.a - p.x_band;
+  }
+  static int32_t Hi0(const BandPredicate& p, const STuple& s) {
+    return s.a + p.x_band;
+  }
+  static float Lo1(const BandPredicate& p, const STuple& s) {
+    return s.b - p.y_band;
+  }
+  static float Hi1(const BandPredicate& p, const STuple& s) {
+    return s.b + p.y_band;
+  }
+};
+
+template <>
+struct SimdProbeTraits<EquiPredicate, RTuple, STuple> {
+  static constexpr bool kEnabled = true;
+  static constexpr SimdPredShape kShape = SimdPredShape::kEqui;
+  static int32_t Key(const EquiPredicate&, const RTuple& r) { return r.x; }
+};
+
+template <>
+struct SimdProbeTraits<EquiPredicate, STuple, RTuple> {
+  static constexpr bool kEnabled = true;
+  static constexpr SimdPredShape kShape = SimdPredShape::kEqui;
+  static int32_t Key(const EquiPredicate&, const STuple& s) { return s.a; }
+};
 
 }  // namespace sjoin

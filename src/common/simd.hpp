@@ -1,0 +1,692 @@
+// SIMD probe kernels for the window-scan hot path, with runtime dispatch.
+//
+// After PR 1 made VectorStore a contiguous ring and PR 2 made scans
+// entry-major over k probes x N queries, the inner loop of a window crossing
+// is pure data-parallel compare work: test a block of entry key lanes
+// against a band/equi predicate and emit the matches. This header supplies
+// that layer:
+//
+//  * Mask kernels — five packed-compare primitives (int32 range, float32
+//    range, int32 entry-side band, float32 entry-side band, int32/uint64
+//    equality) that each sweep one contiguous key lane and produce a match
+//    BITMASK (bit i set iff lane i satisfies the predicate term). A full
+//    predicate is evaluated as one or two kernel sweeps whose masks are
+//    ANDed; result emission walks the set bits. Every kernel performs
+//    *exactly* the arithmetic of the scalar predicate (same int32
+//    wraparound, same IEEE single-precision rounding, ordered float
+//    compares), so the vectorized result sets are bit-identical to the
+//    scalar path — asserted by tests/test_simd_kernels.cpp and in-bench by
+//    bench/ablation_simd_probe.cpp.
+//
+//  * Masked-tail contract — kernels write ceil(n/64) words of mask for n
+//    lanes: the vector body covers the full 4/8-lane blocks, a scalar
+//    epilogue covers the tail, and every bit at position >= n is ZERO.
+//    Callers may therefore iterate whole mask words without re-checking n.
+//
+//  * Runtime dispatch — the ladder AVX2 -> SSE2 -> scalar is selected ONCE
+//    at startup from cpuid (non-x86 builds compile the scalar table only).
+//    `SJOIN_FORCE_SCALAR=1` forces the scalar table (CI proves the fallback
+//    on every PR); `SJOIN_SIMD_LEVEL=scalar|sse2|avx2` clamps to any lower
+//    rung. Tests and benches switch levels in-process via OverrideSimdLevel
+//    (always clamped to what the host supports).
+//
+//  * Trait hooks — SimdEntryLanes<T> declares how a stored tuple type maps
+//    onto the hot key lanes (k0: int32 band/equi key, k1: optional float
+//    band key); SimdProbeTraits<Pred, Probe, Entry> declares how a
+//    predicate decomposes into kernel sweeps for a given probe direction.
+//    Both default to disabled, which keeps arbitrary user predicates on the
+//    generic scalar scan. The paper's benchmark schema specializes them in
+//    common/schema.hpp; the test schema in tests/test_util.hpp.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SJOIN_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SJOIN_SIMD_X86 0
+#endif
+
+namespace sjoin {
+
+// ---------------------------------------------------------------------------
+// Dispatch levels
+// ---------------------------------------------------------------------------
+
+enum class SimdLevel : uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+constexpr const char* ToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+/// Highest level this host can execute (queried once, cached).
+inline SimdLevel DetectedSimdLevel() {
+#if SJOIN_SIMD_X86
+  static const SimdLevel detected = [] {
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+namespace simd_internal {
+
+/// Startup level: detection clamped by the environment knobs. Read once.
+/// Misspelled knob values must not silently select the wrong path: a CI leg
+/// that *believes* it forced a rung has to actually run it, so anything
+/// unrecognized warns on stderr and keeps the detected level.
+inline SimdLevel EnvSimdLevel() {
+  SimdLevel level = DetectedSimdLevel();
+  const char* force = std::getenv("SJOIN_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0') {
+    const std::string v(force);
+    if (v == "1" || v == "true") return SimdLevel::kScalar;
+    if (v != "0" && v != "false") {
+      std::fprintf(stderr,
+                   "sjoin: unrecognized SJOIN_FORCE_SCALAR=\"%s\" "
+                   "(use 1 or 0); ignoring\n",
+                   force);
+    }
+  }
+  const char* named = std::getenv("SJOIN_SIMD_LEVEL");
+  if (named != nullptr && named[0] != '\0') {
+    const std::string want(named);
+    if (want == "scalar") {
+      level = SimdLevel::kScalar;
+    } else if (want == "sse2") {
+      level = std::min(level, SimdLevel::kSse2);  // never above detection
+    } else if (want == "avx2") {
+      level = std::min(level, SimdLevel::kAvx2);
+    } else {
+      std::fprintf(stderr,
+                   "sjoin: unrecognized SJOIN_SIMD_LEVEL=\"%s\" "
+                   "(use scalar|sse2|avx2); keeping %s\n",
+                   named, ToString(level));
+    }
+  }
+  return level;
+}
+
+/// In-process override used by tests/benches; -1 = none.
+inline std::atomic<int>& OverrideSlot() {
+  static std::atomic<int> slot{-1};
+  return slot;
+}
+
+}  // namespace simd_internal
+
+/// The level the dispatched kernel table follows. Selected once at startup
+/// (cpuid clamped by SJOIN_FORCE_SCALAR / SJOIN_SIMD_LEVEL), unless a test
+/// or bench installed an override.
+inline SimdLevel ActiveSimdLevel() {
+  const int over = simd_internal::OverrideSlot().load(std::memory_order_relaxed);
+  if (over >= 0) return static_cast<SimdLevel>(over);
+  static const SimdLevel startup = simd_internal::EnvSimdLevel();
+  return startup;
+}
+
+/// Installs an in-process dispatch override (clamped to the detected
+/// ceiling — asking for AVX2 on an SSE2-only host yields SSE2). Returns the
+/// level actually installed. Test/bench hook; production code never calls
+/// this.
+inline SimdLevel OverrideSimdLevel(SimdLevel level) {
+  if (level > DetectedSimdLevel()) level = DetectedSimdLevel();
+  simd_internal::OverrideSlot().store(static_cast<int>(level),
+                                      std::memory_order_relaxed);
+  return level;
+}
+
+/// Removes the override; ActiveSimdLevel reverts to the startup selection.
+inline void ClearSimdLevelOverride() {
+  simd_internal::OverrideSlot().store(-1, std::memory_order_relaxed);
+}
+
+/// The levels this host can execute, lowest first (always includes
+/// kScalar). Tests and benches sweep this to prove every rung.
+inline std::vector<SimdLevel> SupportedSimdLevels() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar};
+  if (DetectedSimdLevel() >= SimdLevel::kSse2) {
+    levels.push_back(SimdLevel::kSse2);
+  }
+  if (DetectedSimdLevel() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+// ---------------------------------------------------------------------------
+// Mask helpers
+// ---------------------------------------------------------------------------
+
+/// Mask words covering n lanes.
+constexpr std::size_t SimdMaskWords(std::size_t n) { return (n + 63) / 64; }
+
+inline void ZeroMask(uint64_t* mask, std::size_t n) {
+  std::memset(mask, 0, SimdMaskWords(n) * sizeof(uint64_t));
+}
+
+inline void AndMask(uint64_t* dst, const uint64_t* src, std::size_t n) {
+  for (std::size_t w = 0; w < SimdMaskWords(n); ++w) dst[w] &= src[w];
+}
+
+/// Calls f(i) for every set bit i of a mask covering n lanes (bits >= n are
+/// zero by the kernel contract, so whole words are consumed).
+template <typename F>
+inline void ForEachSetBit(const uint64_t* mask, std::size_t n, F&& f) {
+  for (std::size_t w = 0; w < SimdMaskWords(n); ++w) {
+    uint64_t word = mask[w];
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+      f(w * 64 + bit);
+      word &= word - 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels — scalar reference implementations
+//
+// These are the semantic definition of every kernel: the SSE2/AVX2 variants
+// must produce bit-identical masks (tests/test_simd_kernels.cpp pins this).
+// They are also the dispatched implementation at SimdLevel::kScalar.
+// ---------------------------------------------------------------------------
+
+namespace simd_kernels {
+
+/// bit i <=> lo <= v[i] <= hi  (probe-side bounds, precomputed scalars).
+inline void RangeMaskI32Scalar(const int32_t* v, std::size_t n, int32_t lo,
+                               int32_t hi, uint64_t* mask) {
+  ZeroMask(mask, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] >= lo && v[i] <= hi) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+/// bit i <=> lo <= v[i] <= hi, IEEE ordered compares (NaN never matches).
+inline void RangeMaskF32Scalar(const float* v, std::size_t n, float lo,
+                               float hi, uint64_t* mask) {
+  ZeroMask(mask, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] >= lo && v[i] <= hi) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+/// v[i] - band with two's-complement wraparound: scalar bodies and tail
+/// epilogues must match the vector _mm*_sub/add_epi32 semantics exactly
+/// (and signed int32 overflow would be UB).
+inline int32_t WrapSub(int32_t a, int32_t b) {
+  return static_cast<int32_t>(static_cast<uint32_t>(a) -
+                              static_cast<uint32_t>(b));
+}
+inline int32_t WrapAdd(int32_t a, int32_t b) {
+  return static_cast<int32_t>(static_cast<uint32_t>(a) +
+                              static_cast<uint32_t>(b));
+}
+
+/// bit i <=> v[i]-band <= probe <= v[i]+band  (entry-side bounds: the band
+/// arithmetic runs per entry, exactly like the scalar band predicate).
+inline void BandEntryMaskI32Scalar(const int32_t* v, std::size_t n,
+                                   int32_t band, int32_t probe,
+                                   uint64_t* mask) {
+  ZeroMask(mask, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (probe >= WrapSub(v[i], band) && probe <= WrapAdd(v[i], band)) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+inline void BandEntryMaskF32Scalar(const float* v, std::size_t n, float band,
+                                   float probe, uint64_t* mask) {
+  ZeroMask(mask, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (probe >= v[i] - band && probe <= v[i] + band) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+/// bit i <=> v[i] == key  (equi-join sweep).
+inline void EqMaskI32Scalar(const int32_t* v, std::size_t n, int32_t key,
+                            uint64_t* mask) {
+  ZeroMask(mask, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] == key) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+/// bit i <=> v[i] == key  (sequence-number sweep of the Seq lane).
+inline void EqMaskU64Scalar(const uint64_t* v, std::size_t n, uint64_t key,
+                            uint64_t* mask) {
+  ZeroMask(mask, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] == key) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+#if SJOIN_SIMD_X86
+
+// -- SSE2 (4-wide) -----------------------------------------------------------
+//
+// The target attribute lets these bodies use intrinsics without compiling
+// the whole translation unit for the extension; the dispatcher only hands
+// out a table after cpuid confirmed support.
+
+__attribute__((target("sse2"))) inline void RangeMaskI32Sse2(
+    const int32_t* v, std::size_t n, int32_t lo, int32_t hi, uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m128i vlo = _mm_set1_epi32(lo);
+  const __m128i vhi = _mm_set1_epi32(hi);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const __m128i bad =
+        _mm_or_si128(_mm_cmpgt_epi32(vlo, x), _mm_cmpgt_epi32(x, vhi));
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(bad))) ^ 0xfu;
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= lo && v[i] <= hi) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+__attribute__((target("sse2"))) inline void RangeMaskF32Sse2(
+    const float* v, std::size_t n, float lo, float hi, uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m128 vlo = _mm_set1_ps(lo);
+  const __m128 vhi = _mm_set1_ps(hi);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 x = _mm_loadu_ps(v + i);
+    const __m128 ok = _mm_and_ps(_mm_cmpge_ps(x, vlo), _mm_cmple_ps(x, vhi));
+    const uint32_t bits = static_cast<uint32_t>(_mm_movemask_ps(ok));
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= lo && v[i] <= hi) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+__attribute__((target("sse2"))) inline void BandEntryMaskI32Sse2(
+    const int32_t* v, std::size_t n, int32_t band, int32_t probe,
+    uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m128i vband = _mm_set1_epi32(band);
+  const __m128i vprobe = _mm_set1_epi32(probe);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const __m128i lo = _mm_sub_epi32(x, vband);
+    const __m128i hi = _mm_add_epi32(x, vband);
+    const __m128i bad =
+        _mm_or_si128(_mm_cmpgt_epi32(lo, vprobe), _mm_cmpgt_epi32(vprobe, hi));
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(bad))) ^ 0xfu;
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (probe >= WrapSub(v[i], band) && probe <= WrapAdd(v[i], band)) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+__attribute__((target("sse2"))) inline void BandEntryMaskF32Sse2(
+    const float* v, std::size_t n, float band, float probe, uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m128 vband = _mm_set1_ps(band);
+  const __m128 vprobe = _mm_set1_ps(probe);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 x = _mm_loadu_ps(v + i);
+    const __m128 lo = _mm_sub_ps(x, vband);
+    const __m128 hi = _mm_add_ps(x, vband);
+    const __m128 ok =
+        _mm_and_ps(_mm_cmpge_ps(vprobe, lo), _mm_cmple_ps(vprobe, hi));
+    const uint32_t bits = static_cast<uint32_t>(_mm_movemask_ps(ok));
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (probe >= v[i] - band && probe <= v[i] + band) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+__attribute__((target("sse2"))) inline void EqMaskI32Sse2(const int32_t* v,
+                                                          std::size_t n,
+                                                          int32_t key,
+                                                          uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m128i vkey = _mm_set1_epi32(key);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const __m128i eq = _mm_cmpeq_epi32(x, vkey);
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (v[i] == key) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+__attribute__((target("sse2"))) inline void EqMaskU64Sse2(const uint64_t* v,
+                                                          std::size_t n,
+                                                          uint64_t key,
+                                                          uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m128i vkey =
+      _mm_set1_epi64x(static_cast<long long>(key));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    // SSE2 has no 64-bit compare: compare the 32-bit halves and AND each
+    // half with its sibling so a 64-bit lane is all-ones iff both match.
+    const __m128i eq32 = _mm_cmpeq_epi32(x, vkey);
+    const __m128i eq64 = _mm_and_si128(
+        eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(eq64)));
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (v[i] == key) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+// -- AVX2 (8-wide) -----------------------------------------------------------
+
+__attribute__((target("avx2"))) inline void RangeMaskI32Avx2(
+    const int32_t* v, std::size_t n, int32_t lo, int32_t hi, uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m256i vlo = _mm256_set1_epi32(lo);
+  const __m256i vhi = _mm256_set1_epi32(hi);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi32(vlo, x),
+                                        _mm256_cmpgt_epi32(x, vhi));
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(bad))) ^
+        0xffu;
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= lo && v[i] <= hi) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+__attribute__((target("avx2"))) inline void RangeMaskF32Avx2(
+    const float* v, std::size_t n, float lo, float hi, uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vhi = _mm256_set1_ps(hi);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    const __m256 ok = _mm256_and_ps(_mm256_cmp_ps(x, vlo, _CMP_GE_OQ),
+                                    _mm256_cmp_ps(x, vhi, _CMP_LE_OQ));
+    const uint32_t bits = static_cast<uint32_t>(_mm256_movemask_ps(ok));
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= lo && v[i] <= hi) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+__attribute__((target("avx2"))) inline void BandEntryMaskI32Avx2(
+    const int32_t* v, std::size_t n, int32_t band, int32_t probe,
+    uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m256i vband = _mm256_set1_epi32(band);
+  const __m256i vprobe = _mm256_set1_epi32(probe);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i lo = _mm256_sub_epi32(x, vband);
+    const __m256i hi = _mm256_add_epi32(x, vband);
+    const __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi32(lo, vprobe),
+                                        _mm256_cmpgt_epi32(vprobe, hi));
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(bad))) ^
+        0xffu;
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (probe >= WrapSub(v[i], band) && probe <= WrapAdd(v[i], band)) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) inline void BandEntryMaskF32Avx2(
+    const float* v, std::size_t n, float band, float probe, uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m256 vband = _mm256_set1_ps(band);
+  const __m256 vprobe = _mm256_set1_ps(probe);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    const __m256 lo = _mm256_sub_ps(x, vband);
+    const __m256 hi = _mm256_add_ps(x, vband);
+    const __m256 ok = _mm256_and_ps(_mm256_cmp_ps(vprobe, lo, _CMP_GE_OQ),
+                                    _mm256_cmp_ps(vprobe, hi, _CMP_LE_OQ));
+    const uint32_t bits = static_cast<uint32_t>(_mm256_movemask_ps(ok));
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (probe >= v[i] - band && probe <= v[i] + band) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) inline void EqMaskI32Avx2(const int32_t* v,
+                                                          std::size_t n,
+                                                          int32_t key,
+                                                          uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m256i vkey = _mm256_set1_epi32(key);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i eq = _mm256_cmpeq_epi32(x, vkey);
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (v[i] == key) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+__attribute__((target("avx2"))) inline void EqMaskU64Avx2(const uint64_t* v,
+                                                          std::size_t n,
+                                                          uint64_t key,
+                                                          uint64_t* mask) {
+  ZeroMask(mask, n);
+  const __m256i vkey =
+      _mm256_set1_epi64x(static_cast<long long>(key));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i eq = _mm256_cmpeq_epi64(x, vkey);
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+    mask[i >> 6] |= static_cast<uint64_t>(bits) << (i & 63);
+  }
+  for (; i < n; ++i) {
+    if (v[i] == key) mask[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+#endif  // SJOIN_SIMD_X86
+
+}  // namespace simd_kernels
+
+// ---------------------------------------------------------------------------
+// Dispatch table
+// ---------------------------------------------------------------------------
+
+/// One kernel table per dispatch level; all entries obey the masked-tail
+/// contract (bits >= n zero) and compute exactly the scalar arithmetic.
+struct SimdKernels {
+  const char* name;
+  void (*range_i32)(const int32_t* v, std::size_t n, int32_t lo, int32_t hi,
+                    uint64_t* mask);
+  void (*range_f32)(const float* v, std::size_t n, float lo, float hi,
+                    uint64_t* mask);
+  void (*band_entry_i32)(const int32_t* v, std::size_t n, int32_t band,
+                         int32_t probe, uint64_t* mask);
+  void (*band_entry_f32)(const float* v, std::size_t n, float band,
+                         float probe, uint64_t* mask);
+  void (*eq_i32)(const int32_t* v, std::size_t n, int32_t key,
+                 uint64_t* mask);
+  void (*eq_u64)(const uint64_t* v, std::size_t n, uint64_t key,
+                 uint64_t* mask);
+};
+
+/// Kernel table for an explicit level (tests sweep all of them). Levels the
+/// build does not provide (non-x86) fall back to the scalar table.
+inline const SimdKernels& KernelsFor(SimdLevel level) {
+  static const SimdKernels scalar = {
+      "scalar",
+      &simd_kernels::RangeMaskI32Scalar,
+      &simd_kernels::RangeMaskF32Scalar,
+      &simd_kernels::BandEntryMaskI32Scalar,
+      &simd_kernels::BandEntryMaskF32Scalar,
+      &simd_kernels::EqMaskI32Scalar,
+      &simd_kernels::EqMaskU64Scalar,
+  };
+#if SJOIN_SIMD_X86
+  static const SimdKernels sse2 = {
+      "sse2",
+      &simd_kernels::RangeMaskI32Sse2,
+      &simd_kernels::RangeMaskF32Sse2,
+      &simd_kernels::BandEntryMaskI32Sse2,
+      &simd_kernels::BandEntryMaskF32Sse2,
+      &simd_kernels::EqMaskI32Sse2,
+      &simd_kernels::EqMaskU64Sse2,
+  };
+  static const SimdKernels avx2 = {
+      "avx2",
+      &simd_kernels::RangeMaskI32Avx2,
+      &simd_kernels::RangeMaskF32Avx2,
+      &simd_kernels::BandEntryMaskI32Avx2,
+      &simd_kernels::BandEntryMaskF32Avx2,
+      &simd_kernels::EqMaskI32Avx2,
+      &simd_kernels::EqMaskU64Avx2,
+  };
+  switch (level) {
+    case SimdLevel::kScalar:
+      return scalar;
+    case SimdLevel::kSse2:
+      return sse2;
+    case SimdLevel::kAvx2:
+      return avx2;
+  }
+#else
+  (void)level;
+#endif
+  return scalar;
+}
+
+/// The dispatched table for the active level.
+inline const SimdKernels& ActiveKernels() {
+  return KernelsFor(ActiveSimdLevel());
+}
+
+// ---------------------------------------------------------------------------
+// Block geometry + trait hooks
+// ---------------------------------------------------------------------------
+
+/// Entries are probed in blocks of this many lanes: small enough that one
+/// block of both key lanes (256 * 8 bytes = 2 KB) stays L1-resident across
+/// the k probes x N queries sweeping it, large enough to amortize kernel
+/// call overhead and mask iteration.
+inline constexpr std::size_t kSimdBlock = 256;
+inline constexpr std::size_t kSimdBlockWords = kSimdBlock / 64;
+
+/// One contiguous block of entry key lanes (k1 may be null when the entry
+/// type has no float lane).
+struct SimdLaneBlock {
+  const int32_t* k0 = nullptr;
+  const float* k1 = nullptr;
+};
+
+/// Per-call scratch for block evaluation: the result mask and a second
+/// buffer for the float term of two-sweep predicates.
+struct SimdMatchScratch {
+  uint64_t mask[kSimdBlockWords];
+  uint64_t tmp[kSimdBlockWords];
+};
+
+/// Declares how a stored tuple type maps onto the hot key lanes kept in
+/// structure-of-arrays form next to the entry ring:
+///
+///   static constexpr bool kEnabled = true;
+///   static constexpr bool kHasF32  = ...;         // is there a float lane?
+///   static int32_t K0(const T&);                  // band/equi int key
+///   static float   K1(const T&);                  // float band key (if any)
+///
+/// Disabled by default: types without a specialization skip lane
+/// maintenance entirely and scan through the generic scalar path.
+template <typename T>
+struct SimdEntryLanes {
+  static constexpr bool kEnabled = false;
+};
+
+/// How a predicate decomposes into kernel sweeps for one probe direction.
+/// Keyed on (Pred, Probe tuple, Entry tuple) — both directions of a join
+/// get their own specialization because the band arithmetic must stay on
+/// the side where the scalar predicate computes it (bit-identical results):
+///
+///   kShape = kEqui:      eq_i32(entry.k0, Key(pred, probe))
+///   kShape = kBandEntry: band_entry_i32(entry.k0, Band0(pred), P0(probe))
+///                        [AND band_entry_f32(entry.k1, Band1, P1)]
+///                        — bounds arithmetic on the ENTRY side
+///   kShape = kBandProbe: range_i32(entry.k0, Lo0(pred,probe), Hi0(...))
+///                        [AND range_f32(entry.k1, Lo1, Hi1)]
+///                        — bounds arithmetic on the PROBE side, hoisted to
+///                        scalars once per (probe, query)
+///
+/// kUseF32 adds the float sweep; it requires SimdEntryLanes<Entry>::kHasF32.
+template <typename Pred, typename Probe, typename Entry>
+struct SimdProbeTraits {
+  static constexpr bool kEnabled = false;
+};
+
+enum class SimdPredShape : uint8_t { kEqui, kBandEntry, kBandProbe };
+
+}  // namespace sjoin

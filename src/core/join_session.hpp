@@ -117,7 +117,8 @@ struct JoinConfig {
 };
 
 /// Rejects configurations that would misbehave silently. Throws
-/// std::invalid_argument with a message naming the offending field.
+/// std::invalid_argument with a message naming the offending field AND the
+/// offending value (a validation error should be self-diagnosing).
 inline void ValidateJoinConfig(const JoinConfig& config) {
   if (config.parallelism < 1) {
     throw std::invalid_argument(
@@ -126,16 +127,26 @@ inline void ValidateJoinConfig(const JoinConfig& config) {
   }
   if (config.channel_capacity == 0) {
     throw std::invalid_argument(
-        "JoinConfig: channel_capacity must be > 0 (bounded channels provide "
-        "the backpressure; zero would make every push undeliverable)");
+        "JoinConfig: channel_capacity must be > 0, got " +
+        std::to_string(config.channel_capacity) +
+        " (bounded channels provide the backpressure; zero would make every "
+        "push undeliverable)");
   }
   if (config.result_capacity == 0) {
-    throw std::invalid_argument("JoinConfig: result_capacity must be > 0");
+    throw std::invalid_argument("JoinConfig: result_capacity must be > 0, "
+                                "got " +
+                                std::to_string(config.result_capacity));
   }
   if (config.msgs_per_step < 1) {
     throw std::invalid_argument(
         "JoinConfig: msgs_per_step must be >= 1, got " +
         std::to_string(config.msgs_per_step));
+  }
+  if (config.hsj_window_tuples_hint < 0) {
+    // When given at all (non-zero), the hint must be a usable window size.
+    throw std::invalid_argument(
+        "JoinConfig: hsj_window_tuples_hint must be >= 1 when given, got " +
+        std::to_string(config.hsj_window_tuples_hint));
   }
   if (config.algorithm == Algorithm::kHandshake &&
       (config.window_r.is_time() || config.window_s.is_time()) &&
@@ -143,7 +154,8 @@ inline void ValidateJoinConfig(const JoinConfig& config) {
     throw std::invalid_argument(
         "JoinConfig: a handshake join over time windows requires "
         "hsj_window_tuples_hint (> 0), a lower estimate of the live window "
-        "in tuples, to size the per-node segments");
+        "in tuples, to size the per-node segments; got " +
+        std::to_string(config.hsj_window_tuples_hint));
   }
 }
 

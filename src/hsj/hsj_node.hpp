@@ -32,13 +32,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/seq_ring.hpp"
 #include "common/types.hpp"
+#include "llhj/store.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/spsc_queue.hpp"
@@ -134,8 +134,10 @@ class HsjNode : public Steppable {
   std::size_t inflight_s() const { return iws_.size(); }
 
   /// Introspection for tests/diagnostics (single-threaded access only).
-  const std::deque<Stamped<R>>& window_r() const { return wr_; }
-  const std::deque<Stamped<S>>& window_s() const { return ws_; }
+  /// The segments ride on the same ring store as the LLHJ windows (SoA key
+  /// lanes included), so HSJ scans share the SIMD probe path.
+  const VectorStore<R>& window_r() const { return wr_; }
+  const VectorStore<S>& window_s() const { return ws_; }
 
   /// Published segment sizes for neighbour self-balancing (thread-safe).
   const std::atomic<std::size_t>& published_r_size() const {
@@ -210,7 +212,7 @@ class HsjNode : public Steppable {
           right_out_.Push(fwd);
         }
       } else {
-        wr_.push_back(probe_r_[j]);
+        wr_.Insert(probe_r_[j], /*expedited=*/false);
       }
     }
     RelocateROverflow();
@@ -273,7 +275,7 @@ class HsjNode : public Steppable {
           iws_.PushBack(s);
         }
       } else {
-        ws_.push_back(s);
+        ws_.Insert(s, /*expedited=*/false);
         rested = true;
       }
       if (!IsRightmost()) {
@@ -310,32 +312,42 @@ class HsjNode : public Steppable {
 
   // -- Matching --------------------------------------------------------------
 
+  /// Emits one result tagged with the query that matched.
+  void EmitResult(const Stamped<R>& r, const Stamped<S>& s, QueryId q) {
+    ResultMsg<R, S> m = MakeResult(r, s, config_.id);
+    m.query = q;
+    sink_->Emit(m);
+  }
+
   /// Evaluates every registered query on the crossing pair, emitting one
   /// tagged result per matching query.
   void EmitMatches(const Stamped<R>& r, const Stamped<S>& s) {
-    queries_.Match(r.value, s.value, [&](QueryId q) {
-      ResultMsg<R, S> m = MakeResult(r, s, config_.id);
-      m.query = q;
-      sink_->Emit(m);
-    });
+    queries_.Match(r.value, s.value,
+                   [&](QueryId q) { EmitResult(r, s, q); });
   }
 
   /// One pass over the local S segment (entry-major: each resident tuple is
-  /// loaded once and tested against the whole probe run and every query).
+  /// loaded once and tested against the whole probe run and every query —
+  /// on the packed-compare kernels when the schema has a SIMD mapping).
   void ScanBatchAgainstS(const Stamped<R>* rs, std::size_t k) {
-    for (const auto& s : ws_) {
-      for (std::size_t j = 0; j < k; ++j) EmitMatches(rs[j], s);
-    }
-    // Forwarded-but-unacked S tuples are virtually still resident here.
+    ws_.template MatchBatch<true>(
+        queries_, rs, k,
+        [&](std::size_t j, QueryId q, const StoreEntry<S>& entry) {
+          EmitResult(rs[j], entry.tuple, q);
+        });
+    // Forwarded-but-unacked S tuples are virtually still resident here
+    // (a handful of entries — scalar evaluation).
     iws_.ForEach([&](const Stamped<S>& s) {
       for (std::size_t j = 0; j < k; ++j) EmitMatches(rs[j], s);
     });
   }
 
   void ScanBatchAgainstR(const Stamped<S>* ss, std::size_t k) {
-    for (const auto& r : wr_) {
-      for (std::size_t j = 0; j < k; ++j) EmitMatches(r, ss[j]);
-    }
+    wr_.template MatchBatch<false>(
+        queries_, ss, k,
+        [&](std::size_t j, QueryId q, const StoreEntry<R>& entry) {
+          EmitResult(entry.tuple, ss[j], q);
+        });
   }
 
   // -- Relocation (the "handshake" movement) ---------------------------------
@@ -366,7 +378,7 @@ class HsjNode : public Steppable {
   bool RelocateROverflow() {
     if (IsRightmost()) return false;
     bool progress = false;
-    while (!wr_.empty() && ShouldRelocateR() && right_out_.Available(1)) {
+    while (wr_.size() > 0 && ShouldRelocateR() && right_out_.Available(1)) {
       ForwardOldestR();
       progress = true;
     }
@@ -375,17 +387,17 @@ class HsjNode : public Steppable {
   }
 
   void ForwardOldestR() {
-    FlowMsg<R> msg = MakeArrival(wr_.front());
+    FlowMsg<R> msg = MakeArrival(wr_.Front().tuple);
     msg.flags |= kMsgRelocated;
     right_out_.Push(msg);
-    wr_.pop_front();
+    wr_.PopFront();
     ++counters_.relocated_r;
   }
 
   bool RelocateSOverflow() {
     if (IsLeftmost()) return false;
     bool progress = false;
-    while (!ws_.empty() && ShouldRelocateS() && left_out_.Available(1)) {
+    while (ws_.size() > 0 && ShouldRelocateS() && left_out_.Available(1)) {
       ForwardOldestS();
       progress = true;
     }
@@ -399,12 +411,13 @@ class HsjNode : public Steppable {
   }
 
   void ForwardOldestS() {
-    FlowMsg<S> msg = MakeArrival(ws_.front());
+    const Stamped<S> oldest = ws_.Front().tuple;
+    FlowMsg<S> msg = MakeArrival(oldest);
     msg.flags |= kMsgRelocated;
     left_out_.Push(msg);
     // The tuple stays virtually present (IWS) until the receiver acks.
-    iws_.PushBack(ws_.front());
-    ws_.pop_front();
+    iws_.PushBack(oldest);
+    ws_.PopFront();
     ++counters_.relocated_s;
   }
 
@@ -412,7 +425,7 @@ class HsjNode : public Steppable {
 
   void FlushR() {
     if (IsRightmost()) return;  // resident tuples here crossed everything
-    while (!wr_.empty()) ForwardOldestR();
+    while (wr_.size() > 0) ForwardOldestR();
     FlowMsg<R> flush;
     flush.kind = MsgKind::kFlush;
     right_out_.Push(flush);
@@ -420,7 +433,7 @@ class HsjNode : public Steppable {
 
   void FlushS() {
     if (IsLeftmost()) return;
-    while (!ws_.empty()) ForwardOldestS();
+    while (ws_.size() > 0) ForwardOldestS();
     FlowMsg<S> flush;
     flush.kind = MsgKind::kFlush;
     left_out_.Push(flush);
@@ -431,7 +444,7 @@ class HsjNode : public Steppable {
   void HandleExpiry(StreamSide side, Seq seq, Timestamp ts, uint16_t hops) {
     if (side == StreamSide::kS) {
       Stamped<S> victim;
-      if (TryTakeWindow(ws_, seq, &victim)) {
+      if (ws_.TakeSeq(seq, &victim)) {
         // Caught before finishing its traversal: continue as a dying
         // traveller so partners that arrived before this expiry (resting
         // further down the pipeline) are still met exactly once.
@@ -451,7 +464,7 @@ class HsjNode : public Steppable {
       return;
     }
     Stamped<R> victim;
-    if (TryTakeWindow(wr_, seq, &victim)) {
+    if (wr_.TakeSeq(seq, &victim)) {
       if (!IsRightmost()) {
         FlowMsg<R> fwd = MakeArrival(victim);
         fwd.flags |= kMsgRelocated | kMsgDying;
@@ -467,11 +480,11 @@ class HsjNode : public Steppable {
   /// up (already gone). Segments hold contiguous seq ranges ordered along
   /// the pipeline (S: oldest at node 0; R: oldest at node n-1).
   template <typename T>
-  int ChaseDirection(const std::deque<Stamped<T>>& window, Seq seq,
+  int ChaseDirection(const VectorStore<T>& window, Seq seq,
                      bool older_is_left) const {
-    if (!window.empty()) {
-      if (seq < window.front().seq) return older_is_left ? -1 : +1;
-      if (seq > window.back().seq) return older_is_left ? +1 : -1;
+    if (window.size() > 0) {
+      if (seq < window.FrontSeq()) return older_is_left ? -1 : +1;
+      if (seq > window.BackSeq()) return older_is_left ? +1 : -1;
       return 0;  // in range but missing: already erased elsewhere
     }
     // Empty segment: the tuple can only be in flight from the newer side.
@@ -514,24 +527,6 @@ class HsjNode : public Steppable {
     }
   }
 
-  template <typename T>
-  static bool TryTakeWindow(std::deque<Stamped<T>>& window, Seq seq,
-                            Stamped<T>* out) {
-    if (!window.empty() && window.front().seq == seq) {
-      *out = window.front();
-      window.pop_front();
-      return true;
-    }
-    for (auto it = window.begin(); it != window.end(); ++it) {
-      if (it->seq == seq) {
-        *out = *it;
-        window.erase(it);
-        return true;
-      }
-    }
-    return false;
-  }
-
   bool EraseIws(Seq seq) { return iws_.Erase(seq); }
 
   Config config_;
@@ -543,9 +538,9 @@ class HsjNode : public Steppable {
   StagedChannel<FlowMsg<R>> right_out_;  // disconnected on rightmost node
   StagedChannel<FlowMsg<S>> left_out_;   // disconnected on leftmost node
 
-  std::deque<Stamped<R>> wr_;   // front = oldest
-  std::deque<Stamped<S>> ws_;
-  SeqRing<Stamped<S>> iws_;     // forwarded to the left, not yet acked
+  VectorStore<R> wr_;        // front = oldest (ring store with SoA lanes)
+  VectorStore<S> ws_;
+  SeqRing<Stamped<S>> iws_;  // forwarded to the left, not yet acked
 
   // Scratch buffers of the batch arrival paths (reused across steps).
   std::vector<Stamped<R>> probe_r_;

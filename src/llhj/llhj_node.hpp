@@ -373,36 +373,45 @@ class LlhjNode : public Steppable {
 
   // -- Matching ----------------------------------------------------------------
 
+  /// Emits one result tagged with the query that matched.
+  void EmitResult(const Stamped<R>& r, const Stamped<S>& s, QueryId q) {
+    ResultMsg<R, S> m = MakeResult(r, s, config_.id);
+    m.query = q;
+    sink_->Emit(m);
+  }
+
   /// Evaluates every registered query on the crossing pair, emitting one
   /// tagged result per matching query.
   void EmitMatches(const Stamped<R>& r, const Stamped<S>& s) {
-    queries_.Match(r.value, s.value, [&](QueryId q) {
-      ResultMsg<R, S> m = MakeResult(r, s, config_.id);
-      m.query = q;
-      sink_->Emit(m);
-    });
+    queries_.Match(r.value, s.value,
+                   [&](QueryId q) { EmitResult(r, s, q); });
   }
 
   void ScanBatchAgainstS(const Stamped<R>* rs, std::size_t k) {
     // Stored copies: each S tuple rests on exactly one node, so across the
     // whole pipeline each (pair, query) combination is evaluated once (at
-    // h_s) — one store traversal covers all k probes and all queries.
-    ws_.ForEachBatch(
-        k, [&](std::size_t j) -> const R& { return rs[j].value; },
-        [&](std::size_t j, const StoreEntry<S>& entry) {
-          EmitMatches(rs[j], entry.tuple);
+    // h_s) — one store traversal covers all k probes and all queries, and
+    // on scan stores with a SIMD mapping the sweep runs on the packed
+    // compare kernels (store.hpp MatchBatch).
+    ws_.template MatchBatch<true>(
+        queries_, rs, k,
+        [&](std::size_t j, QueryId q, const StoreEntry<S>& entry) {
+          EmitResult(rs[j], entry.tuple, q);
         });
-    // In-flight fresh S tuples: the "while travelling" evaluations.
+    // In-flight fresh S tuples: the "while travelling" evaluations (the
+    // IWS is a handful of entries — scalar evaluation).
     iws_.ForEach([&](const Stamped<S>& s) {
       for (std::size_t j = 0; j < k; ++j) EmitMatches(rs[j], s);
     });
   }
 
   void ScanBatchAgainstR(const Stamped<S>* ss, std::size_t k) {
-    wr_.ForEachBatch(
-        k, [&](std::size_t j) -> const S& { return ss[j].value; },
-        [&](std::size_t j, const StoreEntry<R>& entry) {
-          if (!entry.expedited) EmitMatches(entry.tuple, ss[j]);
+    // Expedited entries are skipped at emission: matches are rare, so the
+    // flag check costs per match, not per (probe, entry) evaluation.
+    wr_.template MatchBatch<false>(
+        queries_, ss, k,
+        [&](std::size_t j, QueryId q, const StoreEntry<R>& entry) {
+          if (!entry.expedited) EmitResult(entry.tuple, ss[j], q);
         });
   }
 

@@ -27,15 +27,32 @@
 //   bool EraseSeq(Seq);                 // window expiry
 //   bool ClearExpedited(Seq);           // expedition-end
 //   template <P, F> void ForEach(const P& probe, F&& f) const;
+//   template <bool L, Pred, P, F> void MatchBatch(queries, probes, k, f);
+//                                       // batch probe x query evaluation
 //   std::size_t size() const;
+//
+// SIMD probe path (DESIGN.md Section 9): VectorStore keeps the hot
+// predicate columns — the int32 band/equi key, the optional float band key,
+// and the sequence number — in structure-of-arrays lanes that mirror the
+// entry ring (same head/mask indexing, moved in tandem on every insert,
+// erase and grow). MatchBatch sweeps those lanes with the packed-compare
+// kernels of common/simd.hpp: one loaded block of entries is tested against
+// k probes x N query predicates, the vector compares produce match bitmasks,
+// and result emission walks the set bits. Types without a SimdEntryLanes
+// mapping skip lane maintenance (except the always-present Seq lane) and
+// scan through the generic scalar path — results are identical either way.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <type_traits>
 #include <vector>
 
 #include "common/flat_hash.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
+#include "stream/query_set.hpp"
 
 namespace sjoin {
 
@@ -47,39 +64,48 @@ struct StoreEntry {
 };
 
 /// Scan store: supports any predicate; ForEach visits every entry.
-/// Contiguous ring buffer, oldest entry at the head.
+/// Contiguous ring buffer, oldest entry at the head, with the hot predicate
+/// columns mirrored in SoA lanes for the SIMD probe path (see header).
 template <typename T>
 class VectorStore {
+  using Lanes = SimdEntryLanes<T>;
+  static constexpr bool kHasLanes = Lanes::kEnabled;
+
  public:
   void Insert(const Stamped<T>& t, bool expedited) {
     if (entries_.empty() || size_ == entries_.size()) Grow();
-    entries_[(head_ + size_) & mask_] = StoreEntry<T>{t, expedited};
+    const std::size_t pos = (head_ + size_) & mask_;
+    entries_[pos] = StoreEntry<T>{t, expedited};
+    lane_seq_[pos] = t.seq;
+    if constexpr (kHasLanes) {
+      lane_k0_[pos] = Lanes::K0(t.value);
+      if constexpr (Lanes::kHasF32) lane_k1_[pos] = Lanes::K1(t.value);
+    }
     ++size_;
   }
 
-  bool EraseSeq(Seq seq) {
+  bool EraseSeq(Seq seq) { return TakeSeq(seq, nullptr); }
+
+  /// EraseSeq that also hands out the erased tuple (the HSJ expiry chase
+  /// needs the victim to keep it travelling as a dying arrival). `out` may
+  /// be null.
+  bool TakeSeq(Seq seq, Stamped<T>* out) {
     if (size_ == 0) return false;
     // Expiries arrive oldest-first per home node, so the head is the
     // overwhelmingly typical target: a pure index bump, no element moves.
     if (At(0).tuple.seq == seq) {
+      if (out != nullptr) *out = At(0).tuple;
       head_ = (head_ + 1) & mask_;
       --size_;
       return true;
     }
-    for (std::size_t i = 1; i < size_; ++i) {
-      if (At(i).tuple.seq != seq) continue;
-      // Out-of-order erase (rare): close the gap by shifting the shorter
-      // side of the ring.
-      if (i < size_ - i) {
-        for (std::size_t j = i; j > 0; --j) At(j) = At(j - 1);
-        head_ = (head_ + 1) & mask_;
-      } else {
-        for (std::size_t j = i; j + 1 < size_; ++j) At(j) = At(j + 1);
-      }
-      --size_;
-      return true;
-    }
-    return false;
+    // Out-of-order erase (rare): locate via a packed sweep of the Seq lane,
+    // then close the gap by shifting the shorter side of the ring.
+    const std::size_t i = FindSeq(seq);
+    if (i == kNpos) return false;
+    if (out != nullptr) *out = At(i).tuple;
+    EraseAt(i);
+    return true;
   }
 
   bool ClearExpedited(Seq seq) {
@@ -104,18 +130,40 @@ class VectorStore {
     for (std::size_t i = 0; i < size_; ++i) f(At(i));
   }
 
-  /// Batch probe: evaluates `n` probes against the store in ONE traversal.
-  /// Entry-major order — each entry is loaded once and tested against every
-  /// probe while it is register/cache resident, so a burst of k arrivals
-  /// costs one window walk instead of k. probe_at(j) yields probe j (scan
-  /// store: only used by the callback); f(j, entry) is called for every
-  /// (probe, entry) combination.
-  template <typename ProbeAt, typename F>
-  void ForEachBatch(std::size_t n, ProbeAt&& probe_at, F&& f) const {
-    (void)probe_at;  // scan store: the callback already knows its probes
-    for (std::size_t i = 0; i < size_; ++i) {
-      const StoreEntry<T>& entry = At(i);
-      for (std::size_t j = 0; j < n; ++j) f(j, entry);
+  /// Batch probe fused with query evaluation — the SIMD scan hot path.
+  /// Tests every entry against k probes x N registered queries and calls
+  /// f(j, q, entry) for each matching (probe j, query q, entry) combination.
+  /// When the (Pred, ProbeT, T) direction has a SIMD mapping, the window is
+  /// swept in L1-resident blocks of key lanes: each block is loaded once,
+  /// the packed-compare kernels produce one match bitmask per (probe,
+  /// query), and emission walks the set bits. Otherwise this is the generic
+  /// entry-major scalar scan. Both paths produce identical result sets
+  /// (same arithmetic; see common/simd.hpp). kProbeIsLeft gives the
+  /// predicate argument order: true => pred(probe, entry).
+  template <bool kProbeIsLeft, typename Pred, typename ProbeT, typename F>
+  void MatchBatch(const QuerySet<Pred>& queries, const Stamped<ProbeT>* probes,
+                  std::size_t k, F&& f) const {
+    // Self-joins (ProbeT == T) stay on the generic path: the SIMD traits
+    // are keyed on (Pred, Probe, Entry) types only, so with equal types
+    // both probe directions would resolve to ONE specialization and an
+    // asymmetric predicate would be evaluated with its arguments swapped
+    // in one of them. kProbeIsLeft orientation is always honored below.
+    if constexpr (QuerySet<Pred>::template SimdCapable<ProbeT, T>() &&
+                  !std::is_same_v<ProbeT, T>) {
+      if (size_ == 0) return;
+      SimdMatchScratch scratch;
+      const std::size_t first = std::min(size_, entries_.size() - head_);
+      SweepLanes(queries, probes, k, head_, 0, first, &scratch, f);
+      SweepLanes(queries, probes, k, 0, first, size_ - first, &scratch, f);
+    } else {
+      for (std::size_t i = 0; i < size_; ++i) {
+        const StoreEntry<T>& entry = At(i);
+        for (std::size_t j = 0; j < k; ++j) {
+          queries.template MatchOriented<kProbeIsLeft>(
+              probes[j].value, entry.tuple.value,
+              [&](QueryId q) { f(j, q, entry); });
+        }
+      }
     }
   }
 
@@ -127,22 +175,142 @@ class VectorStore {
     return n;
   }
 
+  // -- FIFO access (HSJ window segments ride on the same ring) ---------------
+
+  const StoreEntry<T>& Front() const { return At(0); }
+  const StoreEntry<T>& Back() const { return At(size_ - 1); }
+  Seq FrontSeq() const { return lane_seq_[head_]; }
+  Seq BackSeq() const { return lane_seq_[(head_ + size_ - 1) & mask_]; }
+
+  void PopFront() {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
  private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
   StoreEntry<T>& At(std::size_t i) { return entries_[(head_ + i) & mask_]; }
   const StoreEntry<T>& At(std::size_t i) const {
     return entries_[(head_ + i) & mask_];
   }
 
+  /// One contiguous lane segment (physical offset `phys`, logical offset
+  /// `base`, `len` entries), swept in kSimdBlock chunks: a chunk of both key
+  /// lanes stays L1-resident while all k probes and all N queries test it.
+  template <typename Pred, typename ProbeT, typename F>
+  void SweepLanes(const QuerySet<Pred>& queries, const Stamped<ProbeT>* probes,
+                  std::size_t k, std::size_t phys, std::size_t base,
+                  std::size_t len, SimdMatchScratch* scratch, F&& f) const {
+    for (std::size_t off = 0; off < len; off += kSimdBlock) {
+      const std::size_t n = std::min(kSimdBlock, len - off);
+      SimdLaneBlock lanes;
+      lanes.k0 = lane_k0_.data() + phys + off;
+      if constexpr (Lanes::kHasF32) lanes.k1 = lane_k1_.data() + phys + off;
+      const std::size_t queries_n = queries.size();
+      for (std::size_t q = 0; q < queries_n; ++q) {
+        for (std::size_t j = 0; j < k; ++j) {
+          queries.template Matches<T>(static_cast<QueryId>(q),
+                                      probes[j].value, lanes, n, scratch);
+          ForEachSetBit(scratch->mask, n, [&](std::size_t i) {
+            f(j, static_cast<QueryId>(q), At(base + off + i));
+          });
+        }
+      }
+    }
+  }
+
+  /// Logical index of the entry carrying `seq` (packed sweep of the Seq
+  /// lane), or kNpos.
+  std::size_t FindSeq(Seq seq) const {
+    if (size_ == 0) return kNpos;
+    const std::size_t first = std::min(size_, entries_.size() - head_);
+    const std::size_t i = FindSeqInSegment(head_, 0, first, seq);
+    if (i != kNpos) return i;
+    return FindSeqInSegment(0, first, size_ - first, seq);
+  }
+
+  std::size_t FindSeqInSegment(std::size_t phys, std::size_t base,
+                               std::size_t len, Seq seq) const {
+    const SimdKernels& kernels = ActiveKernels();
+    uint64_t mask[kSimdBlockWords];
+    for (std::size_t off = 0; off < len; off += kSimdBlock) {
+      const std::size_t n = std::min(kSimdBlock, len - off);
+      kernels.eq_u64(lane_seq_.data() + phys + off, n, seq, mask);
+      for (std::size_t w = 0; w < SimdMaskWords(n); ++w) {
+        if (mask[w] != 0) {
+          return base + off + w * 64 +
+                 static_cast<std::size_t>(__builtin_ctzll(mask[w]));
+        }
+      }
+    }
+    return kNpos;
+  }
+
+  /// Closes the gap at logical index i by shifting the shorter side of the
+  /// ring; entry and lane slots move in tandem.
+  void EraseAt(std::size_t i) {
+    if (i == 0) {
+      head_ = (head_ + 1) & mask_;
+      --size_;
+      return;
+    }
+    if (i < size_ - i) {
+      for (std::size_t j = i; j > 0; --j) CopySlot(j, j - 1);
+      head_ = (head_ + 1) & mask_;
+    } else {
+      for (std::size_t j = i; j + 1 < size_; ++j) CopySlot(j, j + 1);
+    }
+    --size_;
+  }
+
+  /// Copies logical slot src into logical slot dst across the entry ring
+  /// and every lane.
+  void CopySlot(std::size_t dst, std::size_t src) {
+    const std::size_t d = (head_ + dst) & mask_;
+    const std::size_t s = (head_ + src) & mask_;
+    entries_[d] = entries_[s];
+    lane_seq_[d] = lane_seq_[s];
+    if constexpr (kHasLanes) {
+      lane_k0_[d] = lane_k0_[s];
+      if constexpr (Lanes::kHasF32) lane_k1_[d] = lane_k1_[s];
+    }
+  }
+
   void Grow() {
     const std::size_t new_cap = entries_.empty() ? 16 : entries_.size() * 2;
     std::vector<StoreEntry<T>> next(new_cap);
-    for (std::size_t i = 0; i < size_; ++i) next[i] = At(i);
+    std::vector<Seq> next_seq(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      const std::size_t from = (head_ + i) & mask_;
+      next[i] = entries_[from];
+      next_seq[i] = lane_seq_[from];
+    }
     entries_ = std::move(next);
+    lane_seq_ = std::move(next_seq);
+    if constexpr (kHasLanes) {
+      std::vector<int32_t> next_k0(new_cap);
+      std::vector<float> next_k1;
+      if constexpr (Lanes::kHasF32) next_k1.resize(new_cap);
+      for (std::size_t i = 0; i < size_; ++i) {
+        const std::size_t from = (head_ + i) & mask_;
+        next_k0[i] = lane_k0_[from];
+        if constexpr (Lanes::kHasF32) next_k1[i] = lane_k1_[from];
+      }
+      lane_k0_ = std::move(next_k0);
+      if constexpr (Lanes::kHasF32) lane_k1_ = std::move(next_k1);
+    }
     mask_ = new_cap - 1;
     head_ = 0;
   }
 
   std::vector<StoreEntry<T>> entries_;
+  // SoA key lanes mirroring the ring (same indexing as entries_): the Seq
+  // lane always (packed expiry search), the predicate key lanes only for
+  // types with a SimdEntryLanes mapping.
+  std::vector<Seq> lane_seq_;
+  std::vector<int32_t> lane_k0_;
+  std::vector<float> lane_k1_;
   std::size_t mask_ = 0;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
@@ -216,14 +384,19 @@ class HashStore {
     }
   }
 
-  /// Batch probe. A hash index visits a per-probe chain, so the traversal
-  /// is probe-major (there is no shared walk to amortize); the batch form
-  /// still saves the per-message dispatch around it.
-  template <typename ProbeAt, typename F>
-  void ForEachBatch(std::size_t n, ProbeAt&& probe_at, F&& f) const {
-    for (std::size_t j = 0; j < n; ++j) {
-      ForEach(probe_at(j),
-              [&](const StoreEntry<T>& entry) { f(j, entry); });
+  /// Batch probe fused with query evaluation (same shape as
+  /// VectorStore::MatchBatch so the pipeline nodes are store-agnostic).
+  /// A hash index visits a per-probe chain — no shared walk to amortize —
+  /// so this stays probe-major scalar; the chains are short by construction.
+  template <bool kProbeIsLeft, typename Pred, typename ProbeT, typename F>
+  void MatchBatch(const QuerySet<Pred>& queries, const Stamped<ProbeT>* probes,
+                  std::size_t k, F&& f) const {
+    for (std::size_t j = 0; j < k; ++j) {
+      ForEach(probes[j].value, [&](const StoreEntry<T>& entry) {
+        queries.template MatchOriented<kProbeIsLeft>(
+            probes[j].value, entry.tuple.value,
+            [&](QueryId q) { f(j, q, entry); });
+      });
     }
   }
 
@@ -310,12 +483,17 @@ class OrderedStore {
     for (; it != end; ++it) f(it->second);
   }
 
-  /// Batch probe (probe-major: each probe has its own key range).
-  template <typename ProbeAt, typename F>
-  void ForEachBatch(std::size_t n, ProbeAt&& probe_at, F&& f) const {
-    for (std::size_t j = 0; j < n; ++j) {
-      ForEach(probe_at(j),
-              [&](const StoreEntry<T>& entry) { f(j, entry); });
+  /// Batch probe fused with query evaluation (probe-major: each probe
+  /// narrows to its own key range; the range already did the heavy lift).
+  template <bool kProbeIsLeft, typename Pred, typename ProbeT, typename F>
+  void MatchBatch(const QuerySet<Pred>& queries, const Stamped<ProbeT>* probes,
+                  std::size_t k, F&& f) const {
+    for (std::size_t j = 0; j < k; ++j) {
+      ForEach(probes[j].value, [&](const StoreEntry<T>& entry) {
+        queries.template MatchOriented<kProbeIsLeft>(
+            probes[j].value, entry.tuple.value,
+            [&](QueryId q) { f(j, q, entry); });
+      });
     }
   }
 

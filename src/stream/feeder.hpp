@@ -65,6 +65,27 @@ class Feeder : public Steppable {
   }
 
   bool Step() override {
+    const bool progress = StepImpl();
+    // Publish the drained state once per step: finished() is polled from
+    // other threads, so it must not inspect the feeder's working state.
+    finished_.store((exhausted_ ||
+                     stop_requested_.load(std::memory_order_acquire)) &&
+                        left_pending_.empty() && right_pending_.empty() &&
+                        left_outbox_.empty() && right_outbox_.empty(),
+                    std::memory_order_release);
+    return progress;
+  }
+
+  /// Stop producing new events; pending batches are still flushed.
+  void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
+
+  /// True once the source is exhausted (or a stop was requested) AND every
+  /// pending/outbox message has been delivered. Thread-safe: reflects the
+  /// state as of the feeder's last completed Step.
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+ private:
+  bool StepImpl() {
     bool progress = false;
     progress |= PushOutbox(&left_outbox_, ports_.left);
     progress |= PushOutbox(&right_outbox_, ports_.right);
@@ -117,15 +138,7 @@ class Feeder : public Steppable {
     return progress;
   }
 
-  /// Stop producing new events; pending batches are still flushed.
-  void RequestStop() { stop_requested_.store(true, std::memory_order_release); }
-
-  bool finished() const {
-    return (exhausted_ || stop_requested_.load(std::memory_order_acquire)) &&
-           left_pending_.empty() && right_pending_.empty() &&
-           left_outbox_.empty() && right_outbox_.empty();
-  }
-
+ public:
   uint64_t arrivals_pushed(StreamSide side) const {
     return side == StreamSide::kR
                ? r_pushed_.load(std::memory_order_relaxed)
@@ -295,6 +308,7 @@ class Feeder : public Steppable {
   int64_t start_wall_ns_ = 0;
 
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> finished_{false};
   std::atomic<uint64_t> r_pushed_{0};
   std::atomic<uint64_t> s_pushed_{0};
 };

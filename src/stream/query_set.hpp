@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace sjoin {
@@ -59,6 +60,70 @@ class QuerySet {
       if (p(r, s)) return true;
     }
     return false;
+  }
+
+  /// Match with an explicit probe direction: the stores evaluate a probe
+  /// tuple against a stored entry without knowing which of the two is the
+  /// predicate's R argument. kProbeIsLeft=true means pred(probe, entry)
+  /// (an R tuple probing the S window); false means pred(entry, probe).
+  template <bool kProbeIsLeft, typename ProbeV, typename EntryV, typename F>
+  void MatchOriented(const ProbeV& probe, const EntryV& entry, F&& f) const {
+    if constexpr (kProbeIsLeft) {
+      Match(probe, entry, static_cast<F&&>(f));
+    } else {
+      Match(entry, probe, static_cast<F&&>(f));
+    }
+  }
+
+  /// True iff query set evaluation against EntryT entries probed by ProbeT
+  /// tuples can run on the SIMD kernels (both the predicate decomposition
+  /// and the entry lane mapping must be declared; see common/simd.hpp).
+  template <typename ProbeT, typename EntryT>
+  static constexpr bool SimdCapable() {
+    return SimdProbeTraits<Pred, ProbeT, EntryT>::kEnabled &&
+           SimdEntryLanes<EntryT>::kEnabled;
+  }
+
+  /// Vector compare of ONE registered query against one loaded block of
+  /// entry key lanes (the block form of Match — the SIMD probe hot path).
+  /// Fills scratch->mask with bit i <=> pred matches (probe, entry lane i),
+  /// for lanes [0, n), n <= kSimdBlock; bits >= n are zero (masked-tail
+  /// contract). The caller keeps the block loaded and sweeps it with every
+  /// (probe, query) combination before moving on — one entry load, k x N
+  /// vector compares. Kernel selection follows ActiveSimdLevel(); every
+  /// level computes exactly the scalar predicate's arithmetic, so driving
+  /// result emission off these bitmasks is bit-identical to Match.
+  template <typename EntryT, typename ProbeT>
+  void Matches(QueryId q, const ProbeT& probe, const SimdLaneBlock& lanes,
+               std::size_t n, SimdMatchScratch* scratch) const {
+    using Traits = SimdProbeTraits<Pred, ProbeT, EntryT>;
+    static_assert(Traits::kEnabled, "no SIMD mapping for this direction");
+    if constexpr (Traits::kShape != SimdPredShape::kEqui) {
+      static_assert(!Traits::kUseF32 || SimdEntryLanes<EntryT>::kHasF32,
+                    "predicate declares a float sweep (kUseF32) but the "
+                    "entry type has no float lane (kHasF32)");
+    }
+    const SimdKernels& kernels = ActiveKernels();
+    const Pred& pred = preds_[q];
+    if constexpr (Traits::kShape == SimdPredShape::kEqui) {
+      kernels.eq_i32(lanes.k0, n, Traits::Key(pred, probe), scratch->mask);
+    } else if constexpr (Traits::kShape == SimdPredShape::kBandEntry) {
+      kernels.band_entry_i32(lanes.k0, n, Traits::Band0(pred),
+                             Traits::P0(probe), scratch->mask);
+      if constexpr (Traits::kUseF32) {
+        kernels.band_entry_f32(lanes.k1, n, Traits::Band1(pred),
+                               Traits::P1(probe), scratch->tmp);
+        AndMask(scratch->mask, scratch->tmp, n);
+      }
+    } else {
+      kernels.range_i32(lanes.k0, n, Traits::Lo0(pred, probe),
+                        Traits::Hi0(pred, probe), scratch->mask);
+      if constexpr (Traits::kUseF32) {
+        kernels.range_f32(lanes.k1, n, Traits::Lo1(pred, probe),
+                          Traits::Hi1(pred, probe), scratch->tmp);
+        AndMask(scratch->mask, scratch->tmp, n);
+      }
+    }
   }
 
  private:

@@ -122,6 +122,7 @@ TEST(SessionValidation, RejectsZeroCapacities) {
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("channel_capacity"),
               std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("got 0"), std::string::npos);
   }
   config.channel_capacity = 1024;
   config.result_capacity = 0;
@@ -131,7 +132,28 @@ TEST(SessionValidation, RejectsZeroCapacities) {
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("result_capacity"),
               std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("got 0"), std::string::npos);
   }
+}
+
+TEST(SessionValidation, RejectsNegativeHsjWindowTuplesHint) {
+  // The hint is optional (0 = not given), but when given it must be a
+  // usable window size — a negative value is a usage error for EVERY
+  // algorithm, not just HSJ over time windows.
+  JoinConfig config;
+  config.hsj_window_tuples_hint = -5;
+  try {
+    ValidateJoinConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("hsj_window_tuples_hint"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-5"), std::string::npos);
+  }
+  config.hsj_window_tuples_hint = 0;  // "not given" stays valid
+  EXPECT_NO_THROW(ValidateJoinConfig(config));
+  config.hsj_window_tuples_hint = 1;  // smallest usable hint
+  EXPECT_NO_THROW(ValidateJoinConfig(config));
 }
 
 TEST(SessionValidation, RejectsTimeWindowHsjWithoutHint) {

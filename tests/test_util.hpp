@@ -61,6 +61,69 @@ struct TSKey {
   int64_t operator()(const TS& s) const { return s.key; }
 };
 
+}  // namespace sjoin::test
+
+// SIMD probe mappings (common/simd.hpp) for the test schema: the pipeline
+// tests thereby run the packed-compare scan path end to end — and the CI
+// forced-scalar leg (SJOIN_FORCE_SCALAR=1) re-runs the very same tests on
+// the scalar fallback, pinning bit-identical results across dispatch
+// levels. Int key only: no float lane.
+namespace sjoin {
+
+template <>
+struct SimdEntryLanes<test::TR> {
+  static constexpr bool kEnabled = true;
+  static constexpr bool kHasF32 = false;
+  static int32_t K0(const test::TR& r) { return r.key; }
+};
+
+template <>
+struct SimdEntryLanes<test::TS> {
+  static constexpr bool kEnabled = true;
+  static constexpr bool kHasF32 = false;
+  static int32_t K0(const test::TS& s) { return s.key; }
+};
+
+template <>
+struct SimdProbeTraits<test::KeyBand, test::TR, test::TS> {
+  static constexpr bool kEnabled = true;
+  static constexpr SimdPredShape kShape = SimdPredShape::kBandEntry;
+  static constexpr bool kUseF32 = false;
+  static int32_t Band0(const test::KeyBand& p) { return p.width; }
+  static int32_t P0(const test::TR& r) { return r.key; }
+};
+
+template <>
+struct SimdProbeTraits<test::KeyBand, test::TS, test::TR> {
+  static constexpr bool kEnabled = true;
+  static constexpr SimdPredShape kShape = SimdPredShape::kBandProbe;
+  static constexpr bool kUseF32 = false;
+  static int32_t Lo0(const test::KeyBand& p, const test::TS& s) {
+    return s.key - p.width;
+  }
+  static int32_t Hi0(const test::KeyBand& p, const test::TS& s) {
+    return s.key + p.width;
+  }
+};
+
+template <>
+struct SimdProbeTraits<test::KeyEq, test::TR, test::TS> {
+  static constexpr bool kEnabled = true;
+  static constexpr SimdPredShape kShape = SimdPredShape::kEqui;
+  static int32_t Key(const test::KeyEq&, const test::TR& r) { return r.key; }
+};
+
+template <>
+struct SimdProbeTraits<test::KeyEq, test::TS, test::TR> {
+  static constexpr bool kEnabled = true;
+  static constexpr SimdPredShape kShape = SimdPredShape::kEqui;
+  static int32_t Key(const test::KeyEq&, const test::TS& s) { return s.key; }
+};
+
+}  // namespace sjoin
+
+namespace sjoin::test {
+
 /// Random trace: alternating-ish arrivals with configurable key domain and
 /// timestamp gaps (gap 0 produces runs of equal timestamps — the tie cases).
 struct TraceConfig {
