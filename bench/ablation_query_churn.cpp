@@ -1,0 +1,259 @@
+// Ablation: live query churn (epoch-tagged query lifecycle, DESIGN.md
+// Section 10). A long-running JoinSession serves Q resident band queries
+// while extra queries are added and removed mid-run — the paper's
+// long-running-deployment scenario where the operator stays up as the
+// workload evolves. Two modes over the SAME stream:
+//
+//   frozen — the PR 2 behaviour: Q queries registered before the first
+//     Push, membership never changes (the baseline the epoch machinery
+//     must not slow down);
+//   churn  — same Q resident queries, plus an extra query added and later
+//     removed every `interval` chunks. Each mutation installs an epoch via
+//     the in-band kEpochChange punctuation; after each install the bench
+//     polls until session.drained_epoch() catches up and records the
+//     install latency (punctuation round trip through both flows plus the
+//     marker vacuum).
+//
+// Reported: steady-state throughput of both modes (churn/frozen ratio is
+// the price of the lifecycle machinery), installs performed, and the
+// avg/max install latency. Correctness guard: the resident queries live
+// through every epoch, so their per-query result counts must be identical
+// in both modes — enforced in-bench, exit 1 on mismatch.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/join_session.hpp"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+namespace {
+
+struct Config {
+  int64_t tuples = 20'000;  ///< per stream
+  int64_t window = 512;     ///< count window per stream
+  int nodes = 2;
+  int batch = 64;
+  int resident = 4;         ///< queries that live for the whole run
+  int interval = 32;        ///< chunks between lifecycle mutations
+  int64_t key_domain = kPaperKeyDomain;
+  bool threaded = false;
+  uint64_t seed = 42;
+};
+
+JoinConfig SessionConfig(const Config& c) {
+  JoinConfig config;
+  config.algorithm = Algorithm::kLowLatency;
+  config.parallelism = c.nodes;
+  config.window_r = WindowSpec::Count(c.window);
+  config.window_s = WindowSpec::Count(c.window);
+  config.threaded = c.threaded;
+  return config;
+}
+
+std::vector<BandPredicate> ResidentQueries(int q) {
+  std::vector<BandPredicate> preds;
+  for (int i = 0; i < q; ++i) {
+    preds.push_back(BandPredicate{10 + i, 10.0f + static_cast<float>(i)});
+  }
+  return preds;
+}
+
+struct Streams {
+  std::vector<RTuple> rs;
+  std::vector<STuple> ss;
+  std::vector<Timestamp> ts_r;
+  std::vector<Timestamp> ts_s;
+};
+
+Streams MakeStreams(const Config& c) {
+  Streams out;
+  Rng rng(c.seed);
+  Timestamp ts = 0;
+  for (int64_t i = 0; i < c.tuples; ++i) {
+    out.rs.push_back(MakeBandR(rng, c.key_domain));
+    out.ts_r.push_back(ts++);
+    out.ss.push_back(MakeBandS(rng, c.key_domain));
+    out.ts_s.push_back(ts++);
+  }
+  return out;
+}
+
+struct ChurnModeStats {
+  double wall_s = 0.0;
+  std::vector<uint64_t> resident_counts;
+  uint64_t anomalies = 0;
+  int installs = 0;
+  int retired = 0;
+  double avg_install_ms = 0.0;
+  double max_install_ms = 0.0;
+};
+
+/// Polls the session until `epoch` reports drained; returns the wait in ms.
+double AwaitDrained(JoinSession<RTuple, STuple, BandPredicate>* session,
+                    Epoch epoch) {
+  const int64_t t0 = NowNs();
+  while (session->drained_epoch() < epoch) session->Poll();
+  return NsToMs(NowNs() - t0);
+}
+
+ChurnModeStats Run(const Config& c, const Streams& in, bool churn) {
+  const auto residents = ResidentQueries(c.resident);
+  JoinSession<RTuple, STuple, BandPredicate> session(SessionConfig(c));
+  std::vector<std::unique_ptr<CountingHandler<RTuple, STuple>>> handlers;
+  for (int i = 0; i < c.resident; ++i) {
+    handlers.push_back(std::make_unique<CountingHandler<RTuple, STuple>>());
+    session.AddQuery(residents[i], handlers.back().get());
+  }
+
+  ChurnModeStats stats;
+  CountingHandler<RTuple, STuple> churn_handler;  // extra queries, shared
+  JoinSession<RTuple, STuple, BandPredicate>::QueryHandle extra{};
+  bool extra_live = false;
+  double install_ms_total = 0.0;
+
+  const std::size_t chunk = static_cast<std::size_t>(c.batch);
+  const int64_t start = NowNs();
+  std::size_t chunk_index = 0;
+  for (std::size_t i = 0; i < in.rs.size(); i += chunk, ++chunk_index) {
+    if (churn && c.interval > 0 &&
+        chunk_index % static_cast<std::size_t>(c.interval) == 0 &&
+        i > 0) {
+      // Alternate add/remove of one extra query: every install is a new
+      // epoch flowing through the pipeline as an in-band punctuation.
+      if (extra_live) {
+        session.RemoveQuery(extra);
+        ++stats.retired;
+      } else {
+        extra = session.AddQuery(
+            BandPredicate{40 + static_cast<int>(chunk_index % 8),
+                          40.0f},
+            &churn_handler);
+      }
+      extra_live = !extra_live;
+      ++stats.installs;
+      const double wait_ms = AwaitDrained(&session, session.current_epoch());
+      install_ms_total += wait_ms;
+      stats.max_install_ms = std::max(stats.max_install_ms, wait_ms);
+    }
+    const std::size_t n = std::min(chunk, in.rs.size() - i);
+    session.PushR(std::span<const RTuple>(in.rs.data() + i, n),
+                  std::span<const Timestamp>(in.ts_r.data() + i, n));
+    session.PushS(std::span<const STuple>(in.ss.data() + i, n),
+                  std::span<const Timestamp>(in.ts_s.data() + i, n));
+    session.Poll();
+  }
+  session.FinishInput();
+  const int64_t end = NowNs();
+  session.Stop();
+
+  stats.wall_s = NsToSec(end - start);
+  for (int i = 0; i < c.resident; ++i) {
+    stats.resident_counts.push_back(handlers[i]->count());
+  }
+  stats.anomalies = session.pipeline_anomalies();
+  if (stats.installs > 0) {
+    stats.avg_install_ms = install_ms_total / stats.installs;
+  }
+  return stats;
+}
+
+void EmitRow(JsonEmitter* json, const Config& c, const char* mode,
+             const ChurnModeStats& stats, double tput_vs_frozen) {
+  const double rate =
+      stats.wall_s <= 0 ? 0.0 : static_cast<double>(c.tuples) / stats.wall_s;
+  uint64_t results = 0;
+  for (uint64_t n : stats.resident_counts) results += n;
+  JsonRow row;
+  row.Str("mode", mode)
+      .Int("resident_queries", c.resident)
+      .Int("tuples_per_stream", c.tuples)
+      .Int("window", c.window)
+      .Int("nodes", c.nodes)
+      .Int("batch", c.batch)
+      .Int("interval_chunks", c.interval)
+      .Int("threaded", c.threaded ? 1 : 0)
+      .Num("wall_s", stats.wall_s)
+      .Num("tuples_per_sec", rate)
+      .Int("installs", stats.installs)
+      .Int("queries_retired", stats.retired)
+      .Num("avg_install_ms", stats.avg_install_ms)
+      .Num("max_install_ms", stats.max_install_ms)
+      .Int("resident_results", static_cast<int64_t>(results))
+      .Int("anomalies", static_cast<int64_t>(stats.anomalies));
+  if (tput_vs_frozen > 0) row.Num("tput_vs_frozen", tput_vs_frozen);
+  json->Emit(row);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Config c;
+  c.tuples = flags.Int("tuples", c.tuples);
+  c.window = flags.Int("window", c.window);
+  c.nodes = static_cast<int>(flags.Int("nodes", c.nodes));
+  c.batch = static_cast<int>(flags.Int("batch", c.batch));
+  c.resident = static_cast<int>(flags.Int("resident", c.resident));
+  c.interval = static_cast<int>(flags.Int("interval", c.interval));
+  c.key_domain = flags.Int("domain", c.key_domain);
+  c.threaded = flags.Bool("threaded", c.threaded);
+  c.seed = static_cast<uint64_t>(flags.Int("seed", 42));
+
+  PrintHeader("ablation_query_churn — live add/remove vs frozen query set",
+              "ROADMAP: session-level query lifecycle (epoch punctuations)");
+  std::printf("band workload, count windows %lld/%lld, %d nodes, batch %d, "
+              "%d resident queries, churn every %d chunks, %s\n\n",
+              static_cast<long long>(c.window),
+              static_cast<long long>(c.window), c.nodes, c.batch, c.resident,
+              c.interval, c.threaded ? "threaded" : "non-threaded");
+
+  JsonEmitter json(flags, "ablation_query_churn");
+  const Streams in = MakeStreams(c);
+
+  const ChurnModeStats frozen = Run(c, in, /*churn=*/false);
+  const ChurnModeStats churn = Run(c, in, /*churn=*/true);
+
+  // Correctness guard: resident queries live through every epoch, so their
+  // counts must not depend on the churn around them.
+  for (int i = 0; i < c.resident; ++i) {
+    if (frozen.resident_counts[static_cast<std::size_t>(i)] !=
+        churn.resident_counts[static_cast<std::size_t>(i)]) {
+      std::printf("ERROR: resident query %d count diverged under churn "
+                  "(frozen %llu, churn %llu)\n",
+                  i,
+                  static_cast<unsigned long long>(
+                      frozen.resident_counts[static_cast<std::size_t>(i)]),
+                  static_cast<unsigned long long>(
+                      churn.resident_counts[static_cast<std::size_t>(i)]));
+      return 1;
+    }
+  }
+  if (frozen.anomalies != 0 || churn.anomalies != 0) {
+    std::printf("ERROR: pipeline anomalies (frozen %llu, churn %llu)\n",
+                static_cast<unsigned long long>(frozen.anomalies),
+                static_cast<unsigned long long>(churn.anomalies));
+    return 1;
+  }
+
+  const double ratio = frozen.wall_s > 0 ? frozen.wall_s / churn.wall_s : 0.0;
+  EmitRow(&json, c, "frozen", frozen, 0.0);
+  EmitRow(&json, c, "churn", churn, ratio);
+
+  std::printf("  %-8s  %10s  %14s  %9s  %13s  %13s\n", "mode", "wall(s)",
+              "tuples/s", "installs", "avg inst(ms)", "max inst(ms)");
+  std::printf("  %-8s  %10.3f  %14.0f  %9d  %13s  %13s\n", "frozen",
+              frozen.wall_s, static_cast<double>(c.tuples) / frozen.wall_s, 0,
+              "-", "-");
+  std::printf("  %-8s  %10.3f  %14.0f  %9d  %13.3f  %13.3f\n", "churn",
+              churn.wall_s, static_cast<double>(c.tuples) / churn.wall_s,
+              churn.installs, churn.avg_install_ms, churn.max_install_ms);
+  std::printf("\nchurn throughput = %.2fx frozen; %d queries retired with "
+              "final punctuations\n",
+              ratio, churn.retired);
+  return 0;
+}

@@ -14,6 +14,7 @@
 #   fig19_llhj_latency   -> BENCH_FIG19_LLHJ_LATENCY.json    (appended)
 #   ablation_multi_query -> BENCH_ABLATION_MULTI_QUERY.json  (appended)
 #   ablation_simd_probe  -> BENCH_ABLATION_SIMD_PROBE.json   (appended)
+#   ablation_query_churn -> BENCH_ABLATION_QUERY_CHURN.json  (appended)
 #
 # --smoke: CI mode. Runs every tracked bench at short duration, writes the
 # JSON rows to a throwaway directory instead of the repo trajectory files,
@@ -48,6 +49,8 @@ FIG17_DURATION="${FIG17_DURATION:-2}"
 FIG19_BATCH="${FIG19_BATCH:-1}"      # matches the existing trajectory rows
 SIMD_WINDOW="${SIMD_WINDOW:-16384}"
 SIMD_DURATION="${SIMD_DURATION:-0.4}"
+CHURN_TUPLES="${CHURN_TUPLES:-20000}"
+CHURN_INTERVAL="${CHURN_INTERVAL:-32}"
 
 OUT="$ROOT"
 if [[ "$SMOKE" == "1" ]]; then
@@ -59,6 +62,8 @@ if [[ "$SMOKE" == "1" ]]; then
   MQ_TUPLES=3000
   SIMD_WINDOW=2048
   SIMD_DURATION=0.05
+  CHURN_TUPLES=3000
+  CHURN_INTERVAL=8
   echo "smoke mode: rows -> $OUT (repo BENCH_*.json untouched)"
 fi
 
@@ -116,6 +121,11 @@ check_rows ablation_multi_query "$OUT/BENCH_ABLATION_MULTI_QUERY.json"
 run ablation_simd_probe --window="$SIMD_WINDOW" --duration="$SIMD_DURATION" \
   --json_out="$OUT/BENCH_ABLATION_SIMD_PROBE.json" "${TAGS[@]}"
 check_rows ablation_simd_probe "$OUT/BENCH_ABLATION_SIMD_PROBE.json"
+
+run ablation_query_churn --tuples="$CHURN_TUPLES" --nodes="$NODES" \
+  --interval="$CHURN_INTERVAL" \
+  --json_out="$OUT/BENCH_ABLATION_QUERY_CHURN.json" "${TAGS[@]}"
+check_rows ablation_query_churn "$OUT/BENCH_ABLATION_QUERY_CHURN.json"
 
 if [[ "$FAILED" == "1" ]]; then
   echo "trajectory smoke FAILED: at least one tracked bench emitted no rows"

@@ -16,6 +16,12 @@
 // window crossing evaluates all three predicates in a single store
 // traversal, and each result is routed to its subscriber's handler, tagged
 // with the QueryId. Batch-first ingestion pushes whole sensor bursts.
+//
+// The session stays LIVE: a fourth subscriber joins mid-stream (AddQuery on
+// the running session installs a new query epoch at that exact stream
+// position) and the widest subscriber unsubscribes (RemoveQuery) — its
+// handler receives a final punctuation (OnQueryRetired) once its last
+// result has drained, and never a result after it.
 #include <cstdio>
 #include <span>
 #include <vector>
@@ -56,11 +62,12 @@ int main() {
 
   JoinSession<TempReading, PressureReading, SiteBand> session(config);
 
-  // One handler per subscriber; AddQuery must happen before the first Push.
-  std::vector<CollectingHandler<TempReading, PressureReading>> subscribers(3);
+  // One handler per subscriber. These three are the initial set (epoch 0);
+  // more can join or leave while the session runs.
+  std::vector<CollectingHandler<TempReading, PressureReading>> subscribers(4);
   session.AddQuery(SiteBand{0}, &subscribers[0]);
   session.AddQuery(SiteBand{1}, &subscribers[1]);
-  session.AddQuery(SiteBand{2}, &subscribers[2]);
+  auto wide = session.AddQuery(SiteBand{2}, &subscribers[2]);
 
   // Batch-first ingestion: sensors report in bursts. Timestamps in
   // microseconds, non-decreasing across both sides.
@@ -69,10 +76,22 @@ int main() {
   const std::vector<Timestamp> temp_ts = {0, 1'000, 2'000, 3'000};
   session.PushR(std::span(temps), std::span(temp_ts));
 
+  // A fourth subscriber joins the RUNNING session: exact-match, effective
+  // for every pair whose later reading arrives from here on.
+  auto late = session.AddQuery(SiteBand{0}, &subscribers[3]);
+  std::printf("subscriber 3 joined live (epoch %u)\n",
+              session.current_epoch());
+
   const std::vector<PressureReading> pressures = {
       {1, 1013.2f}, {3, 1008.7f}, {6, 1021.4f}};
   const std::vector<Timestamp> pressure_ts = {4'000, 5'000, 6'000};
   session.PushS(std::span(pressures), std::span(pressure_ts));
+
+  // The widest subscriber leaves; its handler gets a final punctuation
+  // once its last in-flight result has drained.
+  session.RemoveQuery(wide);
+  std::printf("subscriber 2 unsubscribed (epoch %u)\n",
+              session.current_epoch());
 
   // A straggler via the per-tuple path: both styles mix freely.
   session.PushR(TempReading{6, 18.2f}, 7'000);
@@ -81,19 +100,34 @@ int main() {
 
   for (std::size_t q = 0; q < subscribers.size(); ++q) {
     const auto& results = subscribers[q].results();
-    std::printf("query %zu (band %zu): %zu matches\n", q, q, results.size());
+    std::printf("query %zu: %zu matches%s\n", q, results.size(),
+                subscribers[q].retired_queries().empty() ? ""
+                                                         : "  [retired]");
     for (const auto& m : results) {
       std::printf("  temp site %d (%.1f C) ~ pressure site %d (%.1f hPa)  "
-                  "[query %u]\n",
-                  m.r.site, m.r.celsius, m.s.site, m.s.hpa, m.query);
+                  "[query %u, epoch %u]\n",
+                  m.r.site, m.r.celsius, m.s.site, m.s.hpa, m.query, m.epoch);
     }
   }
 
-  // Wider bands strictly contain narrower ones.
-  if (subscribers[0].results().size() > subscribers[1].results().size() ||
-      subscribers[1].results().size() > subscribers[2].results().size()) {
+  // Wider bands strictly contain narrower ones (over their shared epochs).
+  if (subscribers[0].results().size() > subscribers[1].results().size()) {
     std::printf("ERROR: band containment violated\n");
     return 1;
   }
+  // The removed subscriber received its final punctuation...
+  if (subscribers[2].retired_queries() != std::vector<QueryId>{wide.id}) {
+    std::printf("ERROR: unsubscribed query was not retired\n");
+    return 1;
+  }
+  // ...and the late one only sees pairs completed after it joined, all
+  // tagged with an epoch at or above its join epoch.
+  for (const auto& m : subscribers[3].results()) {
+    if (m.epoch < 1) {
+      std::printf("ERROR: late subscriber saw a pre-join result\n");
+      return 1;
+    }
+  }
+  (void)late;
   return 0;
 }

@@ -23,8 +23,17 @@ using NodeId = int32_t;
 /// Identifier of a registered query within a JoinSession. A session can
 /// evaluate several predicates per window crossing; every result carries the
 /// id of the query that produced it so the collector can route it to that
-/// query's sink. Assigned densely from 0 in registration order.
+/// query's sink. Assigned densely from 0 in registration order. Ids are
+/// never reused: a removed query's id stays retired forever.
 using QueryId = uint32_t;
+
+/// Version number of a session's query set. Live AddQuery/RemoveQuery on a
+/// running session installs a new epoch at a driver-order boundary (an
+/// in-band punctuation flowing through the pipeline channels); every tuple
+/// carries the epoch it was pushed under and every result the epoch whose
+/// set produced it (the later input tuple's epoch). Epoch 0 is the set the
+/// session started with; epochs increase by one per install.
+using Epoch = uint32_t;
 
 inline constexpr Timestamp kMinTimestamp =
     std::numeric_limits<Timestamp>::min();
@@ -45,14 +54,17 @@ constexpr const char* ToString(StreamSide side) {
 }
 
 /// A user tuple plus the metadata every engine needs: its sequence number,
-/// event-time timestamp, and the wall-clock instant it entered the system
-/// (used for latency accounting, never for join semantics).
+/// event-time timestamp, the wall-clock instant it entered the system
+/// (used for latency accounting, never for join semantics), and the query
+/// epoch it was pushed under (result attribution across live query
+/// add/remove; single-epoch drivers leave it 0).
 template <typename T>
 struct Stamped {
   T value{};
   Seq seq = 0;
   Timestamp ts = 0;
   int64_t arrival_wall_ns = 0;
+  Epoch epoch = 0;
 };
 
 }  // namespace sjoin

@@ -22,15 +22,27 @@
 // Transport and window maintenance — the dominant hot-path costs (paper
 // Section 7) — are therefore paid once per tuple, not once per query.
 //
+// Live query lifecycle (DESIGN.md Section 10): AddQuery/RemoveQuery also
+// work on a RUNNING session. Each mutation installs a new query *epoch* at
+// the current driver-order boundary: an in-band kEpochChange punctuation
+// flows through the same channels as the tuples, so every pipeline node
+// switches sets at the same stream position, deterministically. Results are
+// attributed to the epoch of the later-pushed input of the pair (the
+// `ResultMsg::epoch` tag); an added query starts matching pairs whose later
+// input is pushed after the install, a removed query stops at exactly that
+// boundary and its handler receives a final punctuation (OnQueryRetired)
+// once its last result has drained — never a post-removal result.
+//
 // Rules:
-//  * All queries must be registered before the first Push; AddQuery after
-//    ingestion has started throws.
+//  * At least one query must be live before the first Push.
 //  * Timestamps must be non-decreasing across both Push sides (stream
 //    order); batch pushes are equivalent to the per-tuple loop over their
 //    span, and a batch is ordered internally by span index.
 //  * Baseline engines (Kang, CellJoin) support multi-query through a union
 //    predicate plus per-match fan-out at the sink — same semantics, no
 //    shared-traversal speedup (they exist as oracles, not deployments).
+//    Being synchronous, their epoch installs take effect (and drain)
+//    immediately at the call.
 #pragma once
 
 #include <algorithm>
@@ -179,20 +191,47 @@ class JoinSession {
   JoinSession& operator=(const JoinSession&) = delete;
 
   /// Registers a query: `pred` is evaluated at every window crossing,
-  /// matches are delivered to `handler` (null = count only). Must be called
-  /// before the first Push; the set is frozen once ingestion starts.
+  /// matches are delivered to `handler` (null = count only). May be called
+  /// before the first Push (part of epoch 0) or on a live session — then a
+  /// new epoch is staged and installed at the current driver-order
+  /// boundary, and the query matches every pair whose later input is pushed
+  /// from here on.
   QueryHandle AddQuery(Pred pred, OutputHandler<R, S>* handler) {
-    if (started_) {
-      throw std::logic_error(
-          "JoinSession: AddQuery after ingestion started; register all "
-          "queries before the first Push");
+    const QueryId id = static_cast<QueryId>(preds_.size());
+    preds_.push_back(pred);
+    live_.push_back(1);
+    const QueryId routed = router_.Register(handler);
+    if (routed != id) {
+      throw std::logic_error("JoinSession: query id/router id diverged");
     }
-    const QueryId id = queries_.Add(pred);
-    router_.Register(handler);
+    if (started_) InstallEpoch({});
     return QueryHandle{id};
   }
 
-  std::size_t query_count() const { return queries_.size(); }
+  /// Removes a live query at the current driver-order boundary: it matches
+  /// no pair whose later input is pushed after this call. Its handler stays
+  /// registered until every in-flight result of older epochs has drained,
+  /// then receives the final punctuation (OnQueryRetired). Returns false
+  /// when the handle is unknown or already removed.
+  bool RemoveQuery(QueryHandle handle) {
+    const QueryId id = handle.id;
+    if (id >= live_.size() || live_[id] == 0) return false;
+    live_[id] = 0;
+    if (started_) {
+      InstallEpoch({id});
+    } else {
+      pre_start_removed_.push_back(id);  // retired at start (never ran)
+    }
+    return true;
+  }
+
+  /// Number of live (registered and not removed) queries.
+  std::size_t query_count() const { return LiveCount(); }
+
+  /// True while `id` is registered and not removed.
+  bool query_live(QueryId id) const {
+    return id < live_.size() && live_[id] != 0;
+  }
 
   // -- Per-tuple ingestion ---------------------------------------------------
 
@@ -253,6 +292,7 @@ class JoinSession {
       msg.kind = MsgKind::kArrival;
       msg.seq = r_seq_++;
       msg.ts = ts;
+      msg.epoch = current_epoch_;
       msg.arrival_wall_ns = NowNs();
       msg.payload = rs[i];
       left_stage_.push_back(msg);
@@ -280,6 +320,7 @@ class JoinSession {
       msg.kind = MsgKind::kArrival;
       msg.seq = s_seq_++;
       msg.ts = ts;
+      msg.epoch = current_epoch_;
       msg.arrival_wall_ns = NowNs();
       msg.payload = ss[i];
       right_stage_.push_back(msg);
@@ -338,8 +379,17 @@ class JoinSession {
 
   Algorithm algorithm() const { return config_.algorithm; }
   const JoinConfig& config() const { return config_; }
-  const QuerySet<Pred>& queries() const { return queries_; }
   bool started() const { return started_; }
+
+  /// Epoch of the query set currently being installed into pushes: results
+  /// of pairs whose later input is pushed now carry this epoch.
+  Epoch current_epoch() const { return current_epoch_; }
+
+  /// Highest epoch known fully drained: every result of an older epoch has
+  /// been delivered, and queries removed at or before that boundary have
+  /// received their final punctuation. Advanced by Poll/FinishInput as the
+  /// per-node epoch markers arrive (baseline engines drain synchronously).
+  Epoch drained_epoch() const { return router_.drained_epoch(); }
 
   /// Diagnostics for tests: anomaly counters (and misrouted results) must
   /// stay zero.
@@ -351,50 +401,90 @@ class JoinSession {
   }
 
  private:
-  /// Baseline engines evaluate the union of all registered predicates while
-  /// scanning; the sink then fans each match out to the queries that
+  using Snapshot = QueryEpochSnapshot<Pred>;
+
+  /// Baseline engines evaluate the union of the ACTIVE epoch's predicates
+  /// while scanning; the sink then fans each match out to the queries that
   /// actually satisfied it (per-query re-evaluation only on the hit path).
+  /// Both read the session's active snapshot at call time, so a live epoch
+  /// install (which swaps the snapshot between driver events) takes effect
+  /// at exactly the next event.
   struct UnionPred {
-    const QuerySet<Pred>* queries = nullptr;
+    const JoinSession* session = nullptr;
     bool operator()(const R& r, const S& s) const {
-      return queries->AnyMatch(r, s);
+      return session->active_snap_->set.AnyMatch(r, s);
     }
   };
 
   struct FanOutSink {
-    QueryRouter<R, S>* router = nullptr;
-    const QuerySet<Pred>* queries = nullptr;
+    JoinSession* session = nullptr;
     void Emit(const ResultMsg<R, S>& m) {
-      queries->Match(m.r, m.s, [&](QueryId q) {
+      const Snapshot& snap = *session->active_snap_;
+      snap.set.Match(m.r, m.s, [&](QueryId lane) {
         ResultMsg<R, S> tagged = m;
-        tagged.query = q;
-        router->OnResult(tagged);
+        tagged.query = snap.GlobalId(lane);
+        // Baselines evaluate at the later input's push; the active epoch
+        // IS that input's epoch.
+        tagged.epoch = snap.epoch;
+        session->router_.OnResult(tagged);
       });
     }
   };
 
   bool Pipelined() const { return hsj_ != nullptr || llhj_ != nullptr; }
 
-  /// Builds the engine on the first Push; the query set is frozen here.
+  std::size_t LiveCount() const {
+    std::size_t n = 0;
+    for (uint8_t alive : live_) n += alive;
+    return n;
+  }
+
+  std::vector<QueryId> LiveIds() const {
+    std::vector<QueryId> ids;
+    for (QueryId q = 0; q < live_.size(); ++q) {
+      if (live_[q] != 0) ids.push_back(q);
+    }
+    return ids;
+  }
+
+  QuerySet<Pred> LiveSet() const {
+    std::vector<Pred> preds;
+    for (QueryId q = 0; q < live_.size(); ++q) {
+      if (live_[q] != 0) preds.push_back(preds_[q]);
+    }
+    return QuerySet<Pred>(std::move(preds));
+  }
+
+  /// Builds the engine on the first Push; the live set becomes epoch 0.
   void EnsureStarted() {
     if (started_) return;
-    if (queries_.empty()) {
+    if (LiveCount() == 0) {
+      // Self-diagnosing like ValidateJoinConfig: name the state observed.
       throw std::logic_error(
-          "JoinSession: no queries registered; call AddQuery before pushing");
+          "JoinSession: cannot start ingestion with 0 live queries "
+          "(session state: not started, " + std::to_string(preds_.size()) +
+          " registered, " + std::to_string(pre_start_removed_.size()) +
+          " removed before start); register at least one query via "
+          "AddQuery before the first Push");
     }
     started_ = true;
+    QuerySet<Pred> initial = LiveSet();
+    std::vector<QueryId> ids = LiveIds();
+    router_.BeginEpoch(0, ids, pre_start_removed_);
     switch (config_.algorithm) {
       case Algorithm::kKang:
-        fan_out_ = FanOutSink{&router_, &queries_};
+        SetUpBaselineEpoch(std::move(initial), std::move(ids));
+        fan_out_ = FanOutSink{this};
         kang_ = std::make_unique<KangJoin<R, S, UnionPred, FanOutSink>>(
-            &fan_out_, UnionPred{&queries_});
+            &fan_out_, UnionPred{this});
         break;
       case Algorithm::kCellJoin: {
-        fan_out_ = FanOutSink{&router_, &queries_};
+        SetUpBaselineEpoch(std::move(initial), std::move(ids));
+        fan_out_ = FanOutSink{this};
         typename CellJoin<R, S, UnionPred, FanOutSink>::Options options;
         options.workers = config_.parallelism - 1;
         cell_ = std::make_unique<CellJoin<R, S, UnionPred, FanOutSink>>(
-            &fan_out_, UnionPred{&queries_}, options);
+            &fan_out_, UnionPred{this}, options);
         break;
       }
       case Algorithm::kHandshake: {
@@ -415,7 +505,9 @@ class JoinSession {
                 8, static_cast<std::size_t>(window_tuples / 4)));
         hsj_lag_budget_ = std::max<std::size_t>(
             16, static_cast<std::size_t>(window_tuples / 2));
-        hsj_ = std::make_unique<HsjPipeline<R, S, Pred>>(options, queries_);
+        hsj_ = std::make_unique<HsjPipeline<R, S, Pred>>(options, initial,
+                                                         std::move(ids));
+        registry_ = hsj_->registry();
         collector_ = hsj_->MakeCollector(&router_);
         SetUpExecutor(hsj_->nodes());
         break;
@@ -428,11 +520,54 @@ class JoinSession {
         options.msgs_per_step = config_.msgs_per_step;
         options.home_policy = config_.home_policy;
         options.punctuate = config_.punctuate;
-        llhj_ = std::make_unique<LlhjPipeline<R, S, Pred>>(options, queries_);
+        llhj_ = std::make_unique<LlhjPipeline<R, S, Pred>>(options, initial,
+                                                           std::move(ids));
+        registry_ = llhj_->registry();
         collector_ = llhj_->MakeCollector(&router_);
         SetUpExecutor(llhj_->nodes());
         break;
       }
+    }
+    // Nothing precedes epoch 0, so it is drained by definition — this also
+    // retires queries that were removed before the session ever started.
+    router_.OnEpochDrained(0);
+  }
+
+  /// Baselines keep their epochs in a session-owned registry (no pipeline
+  /// to own one); active_snap_ is the one the union predicate reads.
+  void SetUpBaselineEpoch(QuerySet<Pred> set, std::vector<QueryId> ids) {
+    own_registry_ = std::make_unique<QueryEpochRegistry<Pred>>();
+    registry_ = own_registry_.get();
+    registry_->Install(std::move(set), std::move(ids));
+    active_snap_ = registry_->Get(0);
+  }
+
+  /// Installs the current live membership as a new epoch at this
+  /// driver-order boundary. Pipelined engines get the in-band kEpochChange
+  /// punctuation on both flows; synchronous baselines switch (and drain)
+  /// immediately.
+  void InstallEpoch(std::vector<QueryId> removed) {
+    std::vector<QueryId> ids = LiveIds();
+    const Epoch e = registry_->Install(LiveSet(), ids);
+    router_.BeginEpoch(e, ids, std::move(removed));
+    current_epoch_ = e;
+    if (Pipelined()) {
+      PipelinePorts<R, S> ports =
+          hsj_ != nullptr ? hsj_->ports() : llhj_->ports();
+      FlowMsg<R> left;
+      left.kind = MsgKind::kEpochChange;
+      left.epoch = e;
+      PushBlocking(ports.left, left);
+      FlowMsg<S> right;
+      right.kind = MsgKind::kEpochChange;
+      right.epoch = e;
+      PushBlocking(ports.right, right);
+      DrainIfSynchronous();
+    } else {
+      active_snap_ = registry_->Get(e);
+      // Synchronous engines have already delivered every pre-boundary
+      // result; the install point is a drained boundary by construction.
+      router_.OnEpochDrained(e);
     }
   }
 
@@ -515,6 +650,7 @@ class JoinSession {
         msg.kind = MsgKind::kArrival;
         msg.seq = event.seq;
         msg.ts = event.ts;
+        msg.epoch = current_epoch_;
         msg.arrival_wall_ns = NowNs();
         msg.payload = event.r;
         PushBlocking(ports.left, msg);
@@ -525,6 +661,7 @@ class JoinSession {
         msg.kind = MsgKind::kArrival;
         msg.seq = event.seq;
         msg.ts = event.ts;
+        msg.epoch = current_epoch_;
         msg.arrival_wall_ns = NowNs();
         msg.payload = event.s;
         PushBlocking(ports.right, msg);
@@ -763,9 +900,20 @@ class JoinSession {
 
   JoinConfig config_;
   ExpiryTracker tracker_;
-  QuerySet<Pred> queries_;
   QueryRouter<R, S> router_;
   FanOutSink fan_out_;
+
+  // Query lifecycle state: predicates by session-wide id (never reused),
+  // the live membership, and the epoch machinery. `registry_` points at
+  // the pipeline's registry (or `own_registry_` for baselines) once the
+  // session has started.
+  std::vector<Pred> preds_;
+  std::vector<uint8_t> live_;
+  std::vector<QueryId> pre_start_removed_;
+  Epoch current_epoch_ = 0;
+  QueryEpochRegistry<Pred>* registry_ = nullptr;
+  std::unique_ptr<QueryEpochRegistry<Pred>> own_registry_;
+  std::shared_ptr<const Snapshot> active_snap_;  // baselines only
 
   Seq r_seq_ = 0;
   Seq s_seq_ = 0;

@@ -27,6 +27,18 @@
 //  * Backpressure discipline: arrivals are consumed only when the outbound
 //    channels have slack; control messages are always consumed and their
 //    outputs stage locally (see runtime/staged_channel.hpp).
+//  * Epoch-tagged query sets (DESIGN.md Section 10): crossings are
+//    evaluated under the snapshot of max(probe epoch, entry epoch). Unlike
+//    LLHJ, old-epoch tuples keep arriving as *relocations* long after the
+//    kEpochChange punctuation was pushed, so a node must HOLD the
+//    punctuation until its own segment has no pre-boundary tuple left
+//    (relocations leave oldest-first, so the punctuation then trails every
+//    old tuple on the channel — FIFO guarantees the downstream node sees no
+//    old probe after it). A node's own epoch marker is emitted when the
+//    punctuation has ARRIVED on both flows: at that point the upstream
+//    neighbours have promised no further old probes, so no result of an
+//    earlier epoch can be produced here again. Retired-epoch drain latency
+//    is therefore O(window) for HSJ — the same latency its results have.
 #pragma once
 
 #include <algorithm>
@@ -82,13 +94,15 @@ class HsjNode : public Steppable {
     uint64_t anomalies = 0;  ///< must stay 0; checked by tests
   };
 
-  /// `queries` is the frozen predicate set evaluated per window crossing;
-  /// the node keeps an immutable copy.
-  HsjNode(const Config& config, const QuerySet<Pred>& queries, Sink* sink,
+  /// `registry` holds one frozen QuerySet per epoch (epoch 0 = the set the
+  /// pipeline started with); snapshots are cached node-locally and the
+  /// registry mutex is touched only on epoch switches.
+  HsjNode(const Config& config, const QueryEpochRegistry<Pred>* registry,
+          Sink* sink,
           SpscQueue<FlowMsg<R>>* left_in, SpscQueue<FlowMsg<R>>* right_out,
           SpscQueue<FlowMsg<S>>* right_in, SpscQueue<FlowMsg<S>>* left_out)
       : config_(config),
-        queries_(queries),
+        snaps_(registry),
         sink_(sink),
         left_in_(left_in),
         right_in_(right_in),
@@ -118,6 +132,9 @@ class HsjNode : public Steppable {
     progress |= RelocateROverflow();
     progress |= RelocateSOverflow();
     PublishSizes();
+    // Epoch punctuations held back for pre-boundary residents may now be
+    // releasable (residents relocated or expired above).
+    progress |= ReleaseEpochPuncts();
     progress |= right_out_.Drain() | left_out_.Drain();
     return progress;
   }
@@ -199,7 +216,7 @@ class HsjNode : public Steppable {
     probe_r_.clear();
     for (std::size_t j = 0; j < k; ++j) {
       probe_r_.push_back(Stamped<R>{msgs[j].payload, msgs[j].seq, msgs[j].ts,
-                                    msgs[j].arrival_wall_ns});
+                                    msgs[j].arrival_wall_ns, msgs[j].epoch});
     }
     ScanBatchAgainstS(probe_r_.data(), k);
     for (std::size_t j = 0; j < k; ++j) {
@@ -235,6 +252,15 @@ class HsjNode : public Steppable {
         FlushR();
         return true;
       }
+      case MsgKind::kEpochChange: {
+        // Arrival on the left flow: upstream promises no more pre-boundary
+        // R probes. Cascade is deferred until our own R segment holds no
+        // pre-boundary tuple (see ReleaseEpochPuncts).
+        OnEpochPunctuation(/*left_flow=*/true, msg->epoch);
+        if (!IsRightmost()) pending_epoch_r_.push_back(msg->epoch);
+        ReleaseEpochPuncts();
+        return true;
+      }
       default:
         ++counters_.anomalies;
         return true;
@@ -257,7 +283,7 @@ class HsjNode : public Steppable {
     probe_s_.clear();
     for (std::size_t j = 0; j < k; ++j) {
       probe_s_.push_back(Stamped<S>{msgs[j].payload, msgs[j].seq, msgs[j].ts,
-                                    msgs[j].arrival_wall_ns});
+                                    msgs[j].arrival_wall_ns, msgs[j].epoch});
     }
     ScanBatchAgainstR(probe_s_.data(), k);
     ack_buf_.clear();
@@ -304,6 +330,12 @@ class HsjNode : public Steppable {
         FlushS();
         return true;
       }
+      case MsgKind::kEpochChange: {
+        OnEpochPunctuation(/*left_flow=*/false, msg->epoch);
+        if (!IsLeftmost()) pending_epoch_s_.push_back(msg->epoch);
+        ReleaseEpochPuncts();
+        return true;
+      }
       default:
         ++counters_.anomalies;
         return true;
@@ -311,43 +343,174 @@ class HsjNode : public Steppable {
   }
 
   // -- Matching --------------------------------------------------------------
+  //
+  // Every crossing pair is evaluated under the query-set snapshot of
+  // max(probe epoch, entry epoch) — the epoch of the later-pushed input.
+  // Outside an epoch transition this costs one compare per batch plus one
+  // per emitted match.
 
-  /// Emits one result tagged with the query that matched.
+  using Snapshot = QueryEpochSnapshot<Pred>;
+
+  const Snapshot* SnapshotFor(Epoch e) {
+    const Snapshot* snap = snaps_.Get(e);
+    if (snap == nullptr) ++counters_.anomalies;  // never-installed epoch
+    return snap;
+  }
+
+  /// Emits one result tagged with the session-wide query id that matched.
   void EmitResult(const Stamped<R>& r, const Stamped<S>& s, QueryId q) {
     ResultMsg<R, S> m = MakeResult(r, s, config_.id);
     m.query = q;
     sink_->Emit(m);
   }
 
-  /// Evaluates every registered query on the crossing pair, emitting one
+  /// Evaluates the pair's epoch snapshot on the crossing pair, emitting one
   /// tagged result per matching query.
   void EmitMatches(const Stamped<R>& r, const Stamped<S>& s) {
-    queries_.Match(r.value, s.value,
-                   [&](QueryId q) { EmitResult(r, s, q); });
+    const Snapshot* snap = SnapshotFor(r.epoch > s.epoch ? r.epoch : s.epoch);
+    if (snap == nullptr) return;
+    snap->set.Match(r.value, s.value, [&](QueryId lane) {
+      EmitResult(r, s, snap->GlobalId(lane));
+    });
   }
 
   /// One pass over the local S segment (entry-major: each resident tuple is
   /// loaded once and tested against the whole probe run and every query —
   /// on the packed-compare kernels when the schema has a SIMD mapping).
+  /// HSJ probe runs can straddle an epoch boundary (relocations), so the
+  /// run is split into same-epoch groups first.
   void ScanBatchAgainstS(const Stamped<R>* rs, std::size_t k) {
-    ws_.template MatchBatch<true>(
-        queries_, rs, k,
-        [&](std::size_t j, QueryId q, const StoreEntry<S>& entry) {
-          EmitResult(rs[j], entry.tuple, q);
+    ForEachEpochGroup(rs, k, [&](const Stamped<R>* g, std::size_t n) {
+      ScanGroupAgainstS(g, n);
+    });
+  }
+
+  void ScanGroupAgainstS(const Stamped<R>* rs, std::size_t k) {
+    const Epoch pe = rs[0].epoch;
+    const Snapshot* snap = SnapshotFor(pe);
+    if (snap != nullptr) {
+      ws_.template MatchBatch<true>(
+          snap->set, rs, k,
+          [&](std::size_t j, QueryId lane, const StoreEntry<S>& entry) {
+            if (entry.tuple.epoch > pe) return;  // newer entries swept below
+            EmitResult(rs[j], entry.tuple, snap->GlobalId(lane));
+          });
+    }
+    // Entries stored under a later epoch than the probe: evaluate under the
+    // entry's snapshot (free outside transitions via max_epoch early-out).
+    ws_.ForEachEpochAfter(pe, [&](const StoreEntry<S>& entry) {
+      const Snapshot* es = SnapshotFor(entry.tuple.epoch);
+      if (es == nullptr) return;
+      for (std::size_t j = 0; j < k; ++j) {
+        es->set.Match(rs[j].value, entry.tuple.value, [&](QueryId lane) {
+          EmitResult(rs[j], entry.tuple, es->GlobalId(lane));
         });
+      }
+    });
     // Forwarded-but-unacked S tuples are virtually still resident here
-    // (a handful of entries — scalar evaluation).
+    // (a handful of entries — scalar evaluation, per-pair epoch).
     iws_.ForEach([&](const Stamped<S>& s) {
       for (std::size_t j = 0; j < k; ++j) EmitMatches(rs[j], s);
     });
   }
 
   void ScanBatchAgainstR(const Stamped<S>* ss, std::size_t k) {
-    wr_.template MatchBatch<false>(
-        queries_, ss, k,
-        [&](std::size_t j, QueryId q, const StoreEntry<R>& entry) {
-          EmitResult(entry.tuple, ss[j], q);
+    ForEachEpochGroup(ss, k, [&](const Stamped<S>* g, std::size_t n) {
+      ScanGroupAgainstR(g, n);
+    });
+  }
+
+  void ScanGroupAgainstR(const Stamped<S>* ss, std::size_t k) {
+    const Epoch pe = ss[0].epoch;
+    const Snapshot* snap = SnapshotFor(pe);
+    if (snap != nullptr) {
+      wr_.template MatchBatch<false>(
+          snap->set, ss, k,
+          [&](std::size_t j, QueryId lane, const StoreEntry<R>& entry) {
+            if (entry.tuple.epoch > pe) return;
+            EmitResult(entry.tuple, ss[j], snap->GlobalId(lane));
+          });
+    }
+    wr_.ForEachEpochAfter(pe, [&](const StoreEntry<R>& entry) {
+      const Snapshot* es = SnapshotFor(entry.tuple.epoch);
+      if (es == nullptr) return;
+      for (std::size_t j = 0; j < k; ++j) {
+        es->set.Match(entry.tuple.value, ss[j].value, [&](QueryId lane) {
+          EmitResult(entry.tuple, ss[j], es->GlobalId(lane));
         });
+      }
+    });
+  }
+
+  /// Splits a probe run into maximal same-epoch groups.
+  template <typename T, typename F>
+  static void ForEachEpochGroup(const Stamped<T>* probes, std::size_t k,
+                                F&& f) {
+    std::size_t i = 0;
+    while (i < k) {
+      std::size_t run = 1;
+      while (i + run < k && probes[i + run].epoch == probes[i].epoch) ++run;
+      f(probes + i, run);
+      i += run;
+    }
+  }
+
+  // -- Epoch punctuations ------------------------------------------------------
+
+  /// Punctuation of `epoch` ARRIVED on one flow. Once both flows have seen
+  /// it, the upstream neighbours (or the driver) have promised no further
+  /// pre-boundary probes in either direction, so this node can never again
+  /// emit a result of an earlier epoch: publish the epoch marker.
+  void OnEpochPunctuation(bool left_flow, Epoch epoch) {
+    Epoch& side = left_flow ? left_epoch_ : right_epoch_;
+    if (epoch > side) side = epoch;
+    const Epoch both = std::min(left_epoch_, right_epoch_);
+    while (marker_epoch_ < both) {
+      ++marker_epoch_;
+      ResultMsg<R, S> mark;
+      mark.query = kEpochMarkQuery;
+      mark.epoch = marker_epoch_;
+      mark.origin = config_.id;
+      sink_->Emit(mark);
+    }
+    // All future probes here carry an epoch >= `both` (the no-old-probes
+    // promise from both upstream sides), and the max(probe, entry) rule
+    // then never selects an older snapshot — safe to trim the MRU cache
+    // (the registry keeps every epoch).
+    snaps_.PruneBelow(both);
+  }
+
+  /// Cascades held punctuations onward once the local segment holds no
+  /// pre-boundary tuple of that stream. Relocations leave oldest-first and
+  /// segment epochs are monotone (front = oldest), so checking the FRONT
+  /// entry suffices; once released, the punctuation trails every old tuple
+  /// on the channel and the FIFO order extends the no-old-probes promise to
+  /// the downstream neighbour. Old tuples leave by relocation, expiry or
+  /// flush, so with a live stream the release lag is O(window) — exactly
+  /// HSJ's result latency.
+  bool ReleaseEpochPuncts() {
+    bool progress = false;
+    while (!pending_epoch_r_.empty() &&
+           (wr_.size() == 0 ||
+            wr_.Front().tuple.epoch >= pending_epoch_r_.front())) {
+      FlowMsg<R> punct;
+      punct.kind = MsgKind::kEpochChange;
+      punct.epoch = pending_epoch_r_.front();
+      right_out_.Push(punct);
+      pending_epoch_r_.erase(pending_epoch_r_.begin());
+      progress = true;
+    }
+    while (!pending_epoch_s_.empty() &&
+           (ws_.size() == 0 ||
+            ws_.Front().tuple.epoch >= pending_epoch_s_.front())) {
+      FlowMsg<S> punct;
+      punct.kind = MsgKind::kEpochChange;
+      punct.epoch = pending_epoch_s_.front();
+      left_out_.Push(punct);
+      pending_epoch_s_.erase(pending_epoch_s_.begin());
+      progress = true;
+    }
+    return progress;
   }
 
   // -- Relocation (the "handshake" movement) ---------------------------------
@@ -530,13 +693,22 @@ class HsjNode : public Steppable {
   bool EraseIws(Seq seq) { return iws_.Erase(seq); }
 
   Config config_;
-  QuerySet<Pred> queries_;
+  EpochSnapshotCache<Pred> snaps_;
   Sink* sink_;
 
   SpscQueue<FlowMsg<R>>* left_in_;
   SpscQueue<FlowMsg<S>>* right_in_;
   StagedChannel<FlowMsg<R>> right_out_;  // disconnected on rightmost node
   StagedChannel<FlowMsg<S>> left_out_;   // disconnected on leftmost node
+
+  // Epoch punctuation bookkeeping: highest epoch ARRIVED per flow, highest
+  // marker published, and punctuations held until the local segment clears
+  // of pre-boundary tuples (see ReleaseEpochPuncts).
+  Epoch left_epoch_ = 0;
+  Epoch right_epoch_ = 0;
+  Epoch marker_epoch_ = 0;
+  std::vector<Epoch> pending_epoch_r_;
+  std::vector<Epoch> pending_epoch_s_;
 
   VectorStore<R> wr_;        // front = oldest (ring store with SoA lanes)
   VectorStore<S> ws_;

@@ -41,6 +41,16 @@
 //    one channel burst and probed against the local store in a single pass
 //    (entry-major for scan stores: each entry is loaded once and tested
 //    against every probe of the run).
+//  * Epoch-tagged query sets (DESIGN.md Section 10) — live AddQuery/
+//    RemoveQuery installs a new epoch; the kEpochChange punctuation cascades
+//    through both flows and every tuple carries its push epoch. A crossing
+//    is evaluated under the snapshot of max(probe epoch, entry epoch) — the
+//    epoch the later input was pushed under — which is deterministic under
+//    any thread interleaving. Because LLHJ probes are always fresh arrivals
+//    in driver-flow order, a node that has processed the punctuation of
+//    epoch E on both flows can never emit a result of an earlier epoch
+//    again; it publishes an epoch marker into its result queue at exactly
+//    that point (retired-epoch draining).
 #pragma once
 
 #include <algorithm>
@@ -88,15 +98,17 @@ class LlhjNode : public Steppable {
     uint64_t anomalies = 0;  ///< must stay 0; checked by tests
   };
 
-  /// `queries` is the frozen set of predicates this pipeline evaluates per
-  /// window crossing; the node keeps an immutable copy (hot-path reads need
-  /// no synchronization).
-  LlhjNode(const Config& config, const QuerySet<Pred>& queries, Sink* sink,
+  /// `registry` holds one frozen QuerySet per epoch (epoch 0 = the set the
+  /// pipeline started with). Within an epoch the hot path reads an
+  /// immutable snapshot with no synchronization; the registry mutex is
+  /// touched only when an epoch punctuation switches the active snapshot.
+  LlhjNode(const Config& config, const QueryEpochRegistry<Pred>* registry,
+           Sink* sink,
            SpscQueue<FlowMsg<R>>* left_in, SpscQueue<FlowMsg<R>>* right_out,
            SpscQueue<FlowMsg<S>>* right_in, SpscQueue<FlowMsg<S>>* left_out,
            HighWaterMarks* hwm = nullptr)
       : config_(config),
-        queries_(queries),
+        snaps_(registry),
         sink_(sink),
         left_in_(left_in),
         right_in_(right_in),
@@ -199,7 +211,7 @@ class LlhjNode : public Steppable {
     probe_r_.clear();
     for (std::size_t j = 0; j < k; ++j) {
       probe_r_.push_back(Stamped<R>{msgs[j].payload, msgs[j].seq, msgs[j].ts,
-                                    msgs[j].arrival_wall_ns});
+                                    msgs[j].arrival_wall_ns, msgs[j].epoch});
     }
     ScanBatchAgainstS(probe_r_.data(), k);
     // Fig 13 lines 9-12 per tuple, in flow order: store at the home node
@@ -263,6 +275,14 @@ class LlhjNode : public Steppable {
         // LLHJ matching is entirely arrival-driven; nothing is pending.
         return true;
       }
+      case MsgKind::kEpochChange: {
+        // Every pre-boundary R probe precedes this punctuation in the left
+        // flow, so it can cascade immediately (contrast HsjNode, which must
+        // hold it back for relocations).
+        OnEpochPunctuation(/*left_flow=*/true, msg->epoch);
+        if (!IsRightmost()) right_out_.Push(*msg);
+        return true;
+      }
       default:
         ++counters_.anomalies;
         return true;
@@ -295,7 +315,7 @@ class LlhjNode : public Steppable {
     probe_s_.clear();
     for (std::size_t j = 0; j < k; ++j) {
       probe_s_.push_back(Stamped<S>{msgs[j].payload, msgs[j].seq, msgs[j].ts,
-                                    msgs[j].arrival_wall_ns});
+                                    msgs[j].arrival_wall_ns, msgs[j].epoch});
     }
     ScanBatchAgainstR(probe_s_.data(), k);
     ack_buf_.clear();
@@ -365,6 +385,11 @@ class LlhjNode : public Steppable {
       case MsgKind::kFlush: {
         return true;
       }
+      case MsgKind::kEpochChange: {
+        OnEpochPunctuation(/*left_flow=*/false, msg->epoch);
+        if (!IsLeftmost()) left_out_.Push(*msg);
+        return true;
+      }
       default:
         ++counters_.anomalies;
         return true;
@@ -372,47 +397,158 @@ class LlhjNode : public Steppable {
   }
 
   // -- Matching ----------------------------------------------------------------
+  //
+  // Every crossing pair is evaluated under the query-set snapshot of
+  // max(probe epoch, entry epoch) — the epoch the later-pushed input
+  // belongs to. The common case (no epoch change in flight) degenerates to
+  // one epoch compare per batch plus one per emitted match.
 
-  /// Emits one result tagged with the query that matched.
+  using Snapshot = QueryEpochSnapshot<Pred>;
+
+  /// Snapshot for epoch `e`; a null return means an epoch that was never
+  /// installed reached the node — a protocol bug counted as an anomaly.
+  const Snapshot* SnapshotFor(Epoch e) {
+    const Snapshot* snap = snaps_.Get(e);
+    if (snap == nullptr) ++counters_.anomalies;
+    return snap;
+  }
+
+  /// Emits one result tagged with the session-wide query id that matched
+  /// (the result's epoch is max of the pair's push epochs, via MakeResult).
   void EmitResult(const Stamped<R>& r, const Stamped<S>& s, QueryId q) {
     ResultMsg<R, S> m = MakeResult(r, s, config_.id);
     m.query = q;
     sink_->Emit(m);
   }
 
-  /// Evaluates every registered query on the crossing pair, emitting one
+  /// Evaluates the pair's epoch snapshot on the crossing pair, emitting one
   /// tagged result per matching query.
   void EmitMatches(const Stamped<R>& r, const Stamped<S>& s) {
-    queries_.Match(r.value, s.value,
-                   [&](QueryId q) { EmitResult(r, s, q); });
+    const Snapshot* snap = SnapshotFor(r.epoch > s.epoch ? r.epoch : s.epoch);
+    if (snap == nullptr) return;
+    snap->set.Match(r.value, s.value, [&](QueryId lane) {
+      EmitResult(r, s, snap->GlobalId(lane));
+    });
   }
 
   void ScanBatchAgainstS(const Stamped<R>* rs, std::size_t k) {
+    // Probes of one run share their flow position but may straddle an
+    // epoch boundary only in theory for LLHJ (the punctuation breaks runs);
+    // the grouping loop costs one compare per batch and keeps the store
+    // sweep single-epoch either way.
+    ForEachEpochGroup(rs, k, [&](const Stamped<R>* g, std::size_t n) {
+      ScanGroupAgainstS(g, n);
+    });
+  }
+
+  void ScanGroupAgainstS(const Stamped<R>* rs, std::size_t k) {
+    const Epoch pe = rs[0].epoch;
+    const Snapshot* snap = SnapshotFor(pe);
     // Stored copies: each S tuple rests on exactly one node, so across the
     // whole pipeline each (pair, query) combination is evaluated once (at
     // h_s) — one store traversal covers all k probes and all queries, and
     // on scan stores with a SIMD mapping the sweep runs on the packed
-    // compare kernels (store.hpp MatchBatch).
-    ws_.template MatchBatch<true>(
-        queries_, rs, k,
-        [&](std::size_t j, QueryId q, const StoreEntry<S>& entry) {
-          EmitResult(rs[j], entry.tuple, q);
+    // compare kernels (store.hpp MatchBatch). Entries pushed under a LATER
+    // epoch than the probe are skipped here (the per-match epoch check) and
+    // re-swept below under their own snapshot.
+    if (snap != nullptr) {
+      ws_.template MatchBatch<true>(
+          snap->set, rs, k,
+          [&](std::size_t j, QueryId lane, const StoreEntry<S>& entry) {
+            if (entry.tuple.epoch > pe) return;
+            EmitResult(rs[j], entry.tuple, snap->GlobalId(lane));
+          });
+    }
+    // Rare (only while an install is in flight): entries stored under a
+    // later epoch than a probe that lingered in the channels. Scalar sweep
+    // under the entry's snapshot; the store's max_epoch early-out makes
+    // this free in steady state.
+    ws_.ForEachEpochAfter(pe, [&](const StoreEntry<S>& entry) {
+      const Snapshot* es = SnapshotFor(entry.tuple.epoch);
+      if (es == nullptr) return;
+      for (std::size_t j = 0; j < k; ++j) {
+        es->set.Match(rs[j].value, entry.tuple.value, [&](QueryId lane) {
+          EmitResult(rs[j], entry.tuple, es->GlobalId(lane));
         });
+      }
+    });
     // In-flight fresh S tuples: the "while travelling" evaluations (the
-    // IWS is a handful of entries — scalar evaluation).
+    // IWS is a handful of entries — scalar evaluation, per-pair epoch).
     iws_.ForEach([&](const Stamped<S>& s) {
       for (std::size_t j = 0; j < k; ++j) EmitMatches(rs[j], s);
     });
   }
 
   void ScanBatchAgainstR(const Stamped<S>* ss, std::size_t k) {
+    ForEachEpochGroup(ss, k, [&](const Stamped<S>* g, std::size_t n) {
+      ScanGroupAgainstR(g, n);
+    });
+  }
+
+  void ScanGroupAgainstR(const Stamped<S>* ss, std::size_t k) {
+    const Epoch pe = ss[0].epoch;
+    const Snapshot* snap = SnapshotFor(pe);
     // Expedited entries are skipped at emission: matches are rare, so the
-    // flag check costs per match, not per (probe, entry) evaluation.
-    wr_.template MatchBatch<false>(
-        queries_, ss, k,
-        [&](std::size_t j, QueryId q, const StoreEntry<R>& entry) {
-          if (!entry.expedited) EmitResult(entry.tuple, ss[j], q);
+    // flag (and epoch) check costs per match, not per evaluation.
+    if (snap != nullptr) {
+      wr_.template MatchBatch<false>(
+          snap->set, ss, k,
+          [&](std::size_t j, QueryId lane, const StoreEntry<R>& entry) {
+            if (entry.expedited || entry.tuple.epoch > pe) return;
+            EmitResult(entry.tuple, ss[j], snap->GlobalId(lane));
+          });
+    }
+    wr_.ForEachEpochAfter(pe, [&](const StoreEntry<R>& entry) {
+      if (entry.expedited) return;
+      const Snapshot* es = SnapshotFor(entry.tuple.epoch);
+      if (es == nullptr) return;
+      for (std::size_t j = 0; j < k; ++j) {
+        es->set.Match(entry.tuple.value, ss[j].value, [&](QueryId lane) {
+          EmitResult(entry.tuple, ss[j], es->GlobalId(lane));
         });
+      }
+    });
+  }
+
+  /// Splits a probe run into maximal same-epoch groups (epochs are
+  /// monotone in flow order; outside an install this is one group and one
+  /// compare).
+  template <typename T, typename F>
+  static void ForEachEpochGroup(const Stamped<T>* probes, std::size_t k,
+                                F&& f) {
+    std::size_t i = 0;
+    while (i < k) {
+      std::size_t run = 1;
+      while (i + run < k && probes[i + run].epoch == probes[i].epoch) ++run;
+      f(probes + i, run);
+      i += run;
+    }
+  }
+
+  // -- Epoch punctuations ------------------------------------------------------
+
+  /// Records that the punctuation of `epoch` passed this node on one flow.
+  /// Once BOTH flows have seen epoch E, every future probe here carries an
+  /// epoch >= E (probes are flow-ordered), so no result of an epoch < E can
+  /// be emitted again: publish the epoch marker into the result queue —
+  /// the in-band signal the collector aggregates for retired-epoch
+  /// draining.
+  void OnEpochPunctuation(bool left_flow, Epoch epoch) {
+    Epoch& side = left_flow ? left_epoch_ : right_epoch_;
+    if (epoch > side) side = epoch;
+    const Epoch both = std::min(left_epoch_, right_epoch_);
+    while (marker_epoch_ < both) {
+      ++marker_epoch_;
+      ResultMsg<R, S> mark;
+      mark.query = kEpochMarkQuery;
+      mark.epoch = marker_epoch_;
+      mark.origin = config_.id;
+      sink_->Emit(mark);
+    }
+    // Snapshots below `both` can still be needed for max(probe, entry)
+    // lookups only via probes >= both, so pruning the cache is safe (the
+    // registry keeps every epoch; this only trims the MRU list).
+    snaps_.PruneBelow(both);
   }
 
   // -- Helpers -----------------------------------------------------------------
@@ -424,13 +560,19 @@ class LlhjNode : public Steppable {
   bool EraseIws(Seq seq) { return iws_.Erase(seq); }
 
   Config config_;
-  QuerySet<Pred> queries_;
+  EpochSnapshotCache<Pred> snaps_;
   Sink* sink_;
 
   SpscQueue<FlowMsg<R>>* left_in_;
   SpscQueue<FlowMsg<S>>* right_in_;
   StagedChannel<FlowMsg<R>> right_out_;  // disconnected on rightmost node
   StagedChannel<FlowMsg<S>> left_out_;   // disconnected on leftmost node
+
+  // Epoch punctuation bookkeeping: highest epoch seen per input flow and
+  // the highest marker already published (see OnEpochPunctuation).
+  Epoch left_epoch_ = 0;
+  Epoch right_epoch_ = 0;
+  Epoch marker_epoch_ = 0;
 
   HighWaterMarks* hwm_;
 

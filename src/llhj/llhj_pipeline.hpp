@@ -47,11 +47,17 @@ class LlhjPipeline {
 
   /// Multi-query pipeline: every window crossing evaluates all predicates
   /// of `queries` in one store traversal; results carry the QueryId.
-  LlhjPipeline(const Options& options, const QuerySet<Pred>& queries)
-      : options_(options), queries_(queries) {
+  /// `queries` becomes epoch 0 of the pipeline's epoch registry;
+  /// `query_ids` maps its dense indices to session-wide QueryIds (empty =
+  /// identity). Live sessions install later epochs through `registry()`.
+  LlhjPipeline(const Options& options, const QuerySet<Pred>& queries,
+               std::vector<QueryId> query_ids = {})
+      : options_(options),
+        registry_(queries, std::move(query_ids)),
+        epoch0_(registry_.Get(0)) {
     const int n = options_.nodes;
     if (n < 1) throw std::invalid_argument("pipeline needs >= 1 node");
-    if (queries_.empty()) {
+    if (epoch0_->set.empty()) {
       throw std::invalid_argument("pipeline needs >= 1 registered query");
     }
 
@@ -77,7 +83,7 @@ class LlhjPipeline {
       config.home_s = home_s;
       config.msgs_per_step = options_.msgs_per_step;
       nodes_.push_back(std::make_unique<Node>(
-          config, queries_, sinks_[static_cast<std::size_t>(k)].get(),
+          config, &registry_, sinks_[static_cast<std::size_t>(k)].get(),
           /*left_in=*/l2r_[static_cast<std::size_t>(k)].get(),
           /*right_out=*/k + 1 < n ? l2r_[static_cast<std::size_t>(k) + 1].get()
                                   : nullptr,
@@ -113,7 +119,11 @@ class LlhjPipeline {
 
   const HighWaterMarks& hwm() const { return hwm_; }
   const Options& options() const { return options_; }
-  const QuerySet<Pred>& queries() const { return queries_; }
+  /// The epoch-0 set (what the pipeline started with).
+  const QuerySet<Pred>& queries() const { return epoch0_->set; }
+  /// Epoch registry shared with every node; a live session installs new
+  /// epochs here before pushing the matching kEpochChange punctuation.
+  QueryEpochRegistry<Pred>* registry() { return &registry_; }
   const Node& node(int k) const { return *nodes_[static_cast<std::size_t>(k)]; }
 
   /// Sum of anomaly counters across nodes — tests require 0.
@@ -158,7 +168,8 @@ class LlhjPipeline {
 
  private:
   Options options_;
-  QuerySet<Pred> queries_;
+  QueryEpochRegistry<Pred> registry_;
+  std::shared_ptr<const QueryEpochSnapshot<Pred>> epoch0_;
   std::vector<std::unique_ptr<SpscQueue<FlowMsg<R>>>> l2r_;
   std::vector<std::unique_ptr<SpscQueue<FlowMsg<S>>>> r2l_;
   std::vector<std::unique_ptr<SpscQueue<ResultMsg<R, S>>>> result_queues_;

@@ -81,6 +81,7 @@ class VectorStore {
       lane_k0_[pos] = Lanes::K0(t.value);
       if constexpr (Lanes::kHasF32) lane_k1_[pos] = Lanes::K1(t.value);
     }
+    if (t.epoch > max_epoch_) max_epoch_ = t.epoch;
     ++size_;
   }
 
@@ -168,6 +169,26 @@ class VectorStore {
   }
 
   std::size_t size() const { return size_; }
+
+  /// Highest query epoch ever inserted (monotone; erases do not lower it).
+  /// `max_epoch() <= e` lets callers skip ForEachEpochAfter entirely — the
+  /// steady-state fast path when no epoch change is in flight.
+  Epoch max_epoch() const { return max_epoch_; }
+
+  /// Visits every entry whose tuple was pushed under an epoch later than
+  /// `e`. Entries are inserted in flow order and epochs are monotone in
+  /// flow order, so these form a suffix of the ring: the walk starts at the
+  /// newest entry and stops at the first old-epoch one — O(newer entries),
+  /// not O(window).
+  template <typename F>
+  void ForEachEpochAfter(Epoch e, F&& f) const {
+    if (max_epoch_ <= e) return;
+    for (std::size_t i = size_; i > 0; --i) {
+      const StoreEntry<T>& entry = At(i - 1);
+      if (entry.tuple.epoch <= e) break;
+      f(entry);
+    }
+  }
 
   std::size_t expedited_count() const {
     std::size_t n = 0;
@@ -314,6 +335,7 @@ class VectorStore {
   std::size_t mask_ = 0;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
+  Epoch max_epoch_ = 0;
 };
 
 /// Hash index store for equi-joins. OwnKey extracts the key from this
@@ -341,6 +363,7 @@ class HashStore {
       chain.tail = slot;
     }
     seq_index_.Insert(t.seq, slot);
+    if (t.epoch > max_epoch_) max_epoch_ = t.epoch;
     ++size_;
   }
 
@@ -402,6 +425,22 @@ class HashStore {
 
   std::size_t size() const { return size_; }
 
+  Epoch max_epoch() const { return max_epoch_; }
+
+  /// Visits every live entry pushed under an epoch later than `e`. A hash
+  /// store has no epoch ordering, so this walks the live seq index — the
+  /// `max_epoch() <= e` early-out makes it free except during an epoch
+  /// transition (then it is O(live entries) for the handful of probes that
+  /// predate the boundary).
+  template <typename F>
+  void ForEachEpochAfter(Epoch e, F&& f) const {
+    if (max_epoch_ <= e) return;
+    seq_index_.ForEach([&](const Seq&, const int32_t& slot) {
+      const StoreEntry<T>& entry = slots_[static_cast<std::size_t>(slot)].entry;
+      if (entry.tuple.epoch > e) f(entry);
+    });
+  }
+
  private:
   static constexpr int32_t kNil = -1;
 
@@ -432,6 +471,7 @@ class HashStore {
   FlatMap<int64_t, Chain> chains_;
   FlatMap<Seq, int32_t> seq_index_;
   std::size_t size_ = 0;
+  Epoch max_epoch_ = 0;
 };
 
 /// Ordered (tree) index store for band/range predicates — the "different
@@ -447,6 +487,7 @@ class OrderedStore {
     const int64_t key = OwnKey{}(t.value);
     tree_.emplace(key, StoreEntry<T>{t, expedited});
     seq_to_key_.Insert(t.seq, key);
+    if (t.epoch > max_epoch_) max_epoch_ = t.epoch;
   }
 
   bool EraseSeq(Seq seq) {
@@ -499,9 +540,23 @@ class OrderedStore {
 
   std::size_t size() const { return tree_.size(); }
 
+  Epoch max_epoch() const { return max_epoch_; }
+
+  /// Visits every entry pushed under an epoch later than `e` (key-ordered
+  /// trees have no epoch ordering; the early-out keeps this free outside
+  /// epoch transitions).
+  template <typename F>
+  void ForEachEpochAfter(Epoch e, F&& f) const {
+    if (max_epoch_ <= e) return;
+    for (const auto& [key, entry] : tree_) {
+      if (entry.tuple.epoch > e) f(entry);
+    }
+  }
+
  private:
   std::multimap<int64_t, StoreEntry<T>> tree_;
   FlatMap<Seq, int64_t> seq_to_key_;
+  Epoch max_epoch_ = 0;
 };
 
 }  // namespace sjoin

@@ -36,7 +36,15 @@ Topology Topology::Synthetic(int n) {
 int Topology::CpuForNode(int node, int total_nodes) const {
   if (cpus_.empty() || node < 0) return -1;
   (void)total_nodes;
-  return cpus_[static_cast<std::size_t>(node) % cpus_.size()];
+  // No wrap-around: with a mask smaller than the thread count the old
+  // round-robin pinned helper threads (feeder, collector — registered after
+  // the pipeline nodes) onto the SAME cpus as pipeline nodes. Two threads
+  // hard-pinned to one cpu cannot be separated by the scheduler, so the
+  // helper serialized the hot path. Threads beyond the mask now run
+  // unpinned (-1): the scheduler can still time-share, but it is free to
+  // place them wherever there is slack instead of on a pipeline core.
+  if (static_cast<std::size_t>(node) >= cpus_.size()) return -1;
+  return cpus_[static_cast<std::size_t>(node)];
 }
 
 }  // namespace sjoin

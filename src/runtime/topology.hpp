@@ -21,9 +21,14 @@ class Topology {
 
   int cpu_count() const { return static_cast<int>(cpus_.size()); }
 
-  /// CPU for pipeline node `node` of a pipeline with `total_nodes` nodes.
-  /// Nodes are distributed round-robin, preserving neighbour adjacency as
-  /// far as the core count allows.
+  /// CPU for pipeline node `node` of a pipeline with `total_nodes` nodes
+  /// (helper threads such as feeder and collector are registered after the
+  /// nodes and share the same enumeration). The first cpu_count() threads
+  /// get one distinct CPU each in enumeration order (neighbour adjacency);
+  /// any thread beyond the affinity mask returns -1 (leave unpinned).
+  /// Wrapping instead would hard-pin a helper onto a pipeline node's CPU
+  /// and serialize the hot path — the scheduler cannot separate two pinned
+  /// threads, but it can place an unpinned one wherever there is slack.
   int CpuForNode(int node, int total_nodes) const;
 
   const std::vector<int>& cpus() const { return cpus_; }

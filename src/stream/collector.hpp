@@ -39,7 +39,11 @@ class Collector : public Steppable {
 
   /// One vacuum round. Returns the number of results forwarded. Queues are
   /// drained in bursts (one consumer-index update per run, not per result),
-  /// mirroring the burst transport of the pipeline channels.
+  /// mirroring the burst transport of the pipeline channels. Epoch markers
+  /// (kEpochMarkQuery, see stream/message.hpp) are aggregated instead of
+  /// forwarded: once every queue has yielded the marker of epoch E, FIFO
+  /// order guarantees no result of an epoch < E is still queued, and the
+  /// handler is told via OnEpochDrained(E).
   std::size_t VacuumOnce() {
     Timestamp tp = kMinTimestamp;
     if (punctuate_) tp = hwm_->SafeMin();  // step 1: read marks first
@@ -50,9 +54,15 @@ class Collector : public Steppable {
         ResultMsg<R, S>* run = nullptr;
         const std::size_t n = queue->PeekBurst(&run);
         if (n == 0) break;
-        for (std::size_t i = 0; i < n; ++i) handler_->OnResult(run[i]);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (IsEpochMark(run[i])) {
+            OnEpochMark(run[i].epoch);
+          } else {
+            handler_->OnResult(run[i]);
+            ++drained;
+          }
+        }
         queue->ConsumeBurst(n);
-        drained += n;
       }
     }
     total_ += drained;
@@ -70,8 +80,25 @@ class Collector : public Steppable {
   uint64_t total_collected() const { return total_; }
   uint64_t punctuations_emitted() const { return punctuations_emitted_; }
   Timestamp last_punctuation() const { return last_punctuation_; }
+  /// Highest epoch whose marker arrived from every node (all results of
+  /// older epochs have been forwarded to the handler).
+  Epoch drained_epoch() const { return drained_epoch_; }
 
  private:
+  /// Counts the per-node epoch markers. Nodes emit markers in increasing
+  /// epoch order into FIFO queues, so completion is monotone: when the
+  /// count for E reaches the queue count, every result of an epoch < E has
+  /// already been forwarded above.
+  void OnEpochMark(Epoch epoch) {
+    if (epoch_marks_.size() < static_cast<std::size_t>(epoch) + 1) {
+      epoch_marks_.resize(static_cast<std::size_t>(epoch) + 1, 0);
+    }
+    if (++epoch_marks_[epoch] == queues_.size() && epoch > drained_epoch_) {
+      drained_epoch_ = epoch;
+      handler_->OnEpochDrained(epoch);
+    }
+  }
+
   std::vector<SpscQueue<ResultMsg<R, S>>*> queues_;
   OutputHandler<R, S>* handler_;
   HighWaterMarks* hwm_;
@@ -79,6 +106,8 @@ class Collector : public Steppable {
   Timestamp last_punctuation_ = kMinTimestamp;
   uint64_t total_ = 0;
   uint64_t punctuations_emitted_ = 0;
+  std::vector<std::size_t> epoch_marks_;  // per-epoch marker count
+  Epoch drained_epoch_ = 0;
 };
 
 }  // namespace sjoin

@@ -3,8 +3,10 @@
 // can be chained (Tee) — e.g. latency recording feeding a sorting operator.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -21,6 +23,15 @@ class OutputHandler {
   virtual ~OutputHandler() = default;
   virtual void OnResult(const ResultMsg<R, S>& result) = 0;
   virtual void OnPunctuation(Timestamp tp) {}
+
+  /// Every result of a query epoch below the argument has been delivered
+  /// (the collector saw the epoch marker of every pipeline node). Default
+  /// no-op; the QueryRouter uses it to retire removed queries.
+  virtual void OnEpochDrained(Epoch /*epoch*/) {}
+
+  /// Final punctuation of a removed query: its last result has been
+  /// delivered and no further OnResult call will ever carry this query id.
+  virtual void OnQueryRetired(QueryId /*query*/) {}
 };
 
 /// Stores everything (tests, examples).
@@ -31,13 +42,17 @@ class CollectingHandler : public OutputHandler<R, S> {
     results_.push_back(result);
   }
   void OnPunctuation(Timestamp tp) override { punctuations_.push_back(tp); }
+  void OnQueryRetired(QueryId query) override { retired_.push_back(query); }
 
   const std::vector<ResultMsg<R, S>>& results() const { return results_; }
   const std::vector<Timestamp>& punctuations() const { return punctuations_; }
+  /// Queries whose final (retirement) punctuation has been delivered.
+  const std::vector<QueryId>& retired_queries() const { return retired_; }
 
  private:
   std::vector<ResultMsg<R, S>> results_;
   std::vector<Timestamp> punctuations_;
+  std::vector<QueryId> retired_;
 };
 
 /// Counts results; the count is safe to read from other threads.
@@ -90,21 +105,57 @@ class LatencyRecorder : public OutputHandler<R, S> {
 /// Demultiplexes the merged result stream of a multi-query session onto the
 /// per-query sinks: results are routed by their QueryId tag, punctuations
 /// (a property of the shared windows, not of any one query) are broadcast
-/// to every registered handler. A null handler is allowed — that query's
-/// results are counted but dropped (count-only queries).
+/// once per registered *handler* — a handler registered for several queries
+/// receives each punctuation exactly once (deduped by (epoch, punctuation
+/// seq)). A null handler is allowed — that query's results are counted but
+/// dropped (count-only queries).
+///
+/// Live query lifecycle (DESIGN.md Section 10): the router keeps one
+/// membership table per query epoch. A result is routed only when its
+/// `query` was a member of its `epoch` — anything else counts as misrouted
+/// (a pipeline bug). Queries removed at an epoch install stay registered
+/// until that epoch is *drained* (OnEpochDrained, driven by the collector's
+/// per-node epoch markers, or synchronously for the baseline engines); at
+/// that point the removed query's handler receives its final punctuation
+/// (OnQueryRetired) and is guaranteed to never see a result of that query
+/// again.
 template <typename R, typename S>
 class QueryRouter : public OutputHandler<R, S> {
  public:
   /// Registers the sink of the next query; returns its dense QueryId.
+  /// Ids are never reused, so a handler may appear under several ids.
   QueryId Register(OutputHandler<R, S>* handler) {
     handlers_.push_back(handler);
     counts_.push_back(0);
+    retired_.push_back(0);
     return static_cast<QueryId>(handlers_.size() - 1);
   }
 
+  /// Declares epoch `epoch` (must be sequential from 0): `members` are the
+  /// QueryIds live in it, `removed` the ids removed at this install (await
+  /// retirement once every older epoch has drained). A router that never
+  /// sees BeginEpoch routes by id alone (single-epoch legacy mode).
+  void BeginEpoch(Epoch epoch, const std::vector<QueryId>& members,
+                  std::vector<QueryId> removed = {}) {
+    if (epoch != epochs_.size()) {
+      throw std::logic_error("QueryRouter: epochs must begin sequentially");
+    }
+    EpochInfo info;
+    info.member.assign(handlers_.size(), 0);
+    for (QueryId q : members) info.member[q] = 1;
+    info.removed = std::move(removed);
+    epochs_.push_back(std::move(info));
+  }
+
   void OnResult(const ResultMsg<R, S>& result) override {
-    if (result.query >= handlers_.size()) {
-      ++misrouted_;  // must stay 0; a non-zero count is a pipeline bug
+    // Must stay routable: query registered, epoch declared, query a member
+    // of that epoch. Anything else counts as misrouted (pipeline bug).
+    if (result.query >= handlers_.size() ||
+        (!epochs_.empty() &&
+         (result.epoch >= epochs_.size() ||
+          result.query >= epochs_[result.epoch].member.size() ||
+          epochs_[result.epoch].member[result.query] == 0))) {
+      ++misrouted_;
       return;
     }
     ++counts_[result.query];
@@ -113,9 +164,34 @@ class QueryRouter : public OutputHandler<R, S> {
     if (handler != nullptr) handler->OnResult(result);
   }
 
+  /// Broadcast with exactly-once-per-handler delivery: each OnPunctuation
+  /// call is one (epoch, punctuation-seq) key, and within it every distinct
+  /// handler that still owns a live (non-retired) query receives the value
+  /// once, however many queries it is registered for — the per-call seen_
+  /// list IS the (epoch, seq) dedupe, since a new call is a new key.
   void OnPunctuation(Timestamp tp) override {
-    for (OutputHandler<R, S>* handler : handlers_) {
-      if (handler != nullptr) handler->OnPunctuation(tp);
+    seen_.clear();
+    for (QueryId q = 0; q < handlers_.size(); ++q) {
+      OutputHandler<R, S>* handler = handlers_[q];
+      if (handler == nullptr || retired_[q] != 0) continue;
+      bool duplicate = false;
+      for (OutputHandler<R, S>* s : seen_) duplicate |= (s == handler);
+      if (duplicate) continue;  // already delivered under this (epoch, seq)
+      seen_.push_back(handler);
+      handler->OnPunctuation(tp);
+    }
+  }
+
+  /// Every result of an epoch below `epoch` has been delivered: retire the
+  /// queries removed at installs up to and including `epoch` (their last
+  /// possible result carries an epoch below their removal boundary).
+  void OnEpochDrained(Epoch epoch) override {
+    if (epoch > drained_epoch_) drained_epoch_ = epoch;
+    const Epoch limit =
+        std::min<Epoch>(epoch, static_cast<Epoch>(epochs_.size()) - 1);
+    while (!epochs_.empty() && next_retire_ <= limit) {
+      for (QueryId q : epochs_[next_retire_].removed) Retire(q);
+      ++next_retire_;
     }
   }
 
@@ -125,10 +201,31 @@ class QueryRouter : public OutputHandler<R, S> {
   }
   uint64_t total_collected() const { return total_; }
   uint64_t misrouted() const { return misrouted_; }
+  /// Highest epoch known fully drained (all older results delivered).
+  Epoch drained_epoch() const { return drained_epoch_; }
+  bool retired(QueryId q) const {
+    return q < retired_.size() && retired_[q] != 0;
+  }
 
  private:
+  struct EpochInfo {
+    std::vector<uint8_t> member;   ///< by QueryId: live in this epoch?
+    std::vector<QueryId> removed;  ///< removed at this epoch's install
+  };
+
+  void Retire(QueryId q) {
+    if (q >= handlers_.size() || retired_[q] != 0) return;
+    retired_[q] = 1;
+    if (handlers_[q] != nullptr) handlers_[q]->OnQueryRetired(q);
+  }
+
   std::vector<OutputHandler<R, S>*> handlers_;
   std::vector<uint64_t> counts_;
+  std::vector<uint8_t> retired_;
+  std::vector<EpochInfo> epochs_;
+  std::vector<OutputHandler<R, S>*> seen_;  // per-broadcast dedupe scratch
+  Epoch drained_epoch_ = 0;
+  Epoch next_retire_ = 0;
   uint64_t total_ = 0;
   uint64_t misrouted_ = 0;
 };

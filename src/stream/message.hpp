@@ -22,6 +22,14 @@ enum class MsgKind : uint8_t {
   kExpiry = 2,         ///< window expiry of an opposite-stream tuple
   kExpeditionEnd = 3,  ///< LLHJ: tuple `seq` of R finished its expedition
   kFlush = 4,          ///< HSJ: force relocation of all resident tuples
+  /// Query-epoch punctuation: the driver installed query epoch `epoch` at
+  /// exactly this flow position. Injected into BOTH flows at the same
+  /// driver-order boundary and cascaded node to node, so every node
+  /// switches query sets at the same stream position per flow. A node that
+  /// has seen the punctuation on both flows can no longer emit results of
+  /// earlier epochs and publishes an epoch marker into its result queue
+  /// (retired-epoch draining; see DESIGN.md Section 10).
+  kEpochChange = 5,
 };
 
 /// FlowMsg flag bits.
@@ -47,6 +55,10 @@ struct FlowMsg {
   /// flow, so the side must be explicit.
   StreamSide ref_side = StreamSide::kR;
   uint16_t hops = 0;    ///< diagnostic hop counter (expiry chase guard)
+  /// kArrival: the query epoch the tuple was pushed under (travels with the
+  /// tuple through stores and relocations). kEpochChange: the epoch being
+  /// installed at this flow position.
+  Epoch epoch = 0;
   NodeId home = kNoNode;
   Seq seq = 0;
   Timestamp ts = 0;
@@ -69,10 +81,19 @@ FlowMsg<T> MakeArrival(const Stamped<T>& t) {
   msg.kind = MsgKind::kArrival;
   msg.seq = t.seq;
   msg.ts = t.ts;
+  msg.epoch = t.epoch;
   msg.arrival_wall_ns = t.arrival_wall_ns;
   msg.payload = t.value;
   return msg;
 }
+
+/// Sentinel QueryId of an epoch marker in a result queue: a node that has
+/// seen the kEpochChange punctuation for epoch E on both of its input flows
+/// emits {query = kEpochMarkQuery, epoch = E} into its result queue. FIFO
+/// queue order then guarantees that once the collector has vacuumed the
+/// marker for E from every node's queue, no result of an epoch < E is still
+/// undelivered — the trigger for retiring removed queries.
+inline constexpr QueryId kEpochMarkQuery = static_cast<QueryId>(-1);
 
 /// A join result as produced inside the pipeline. `ts` is the result
 /// timestamp max(t_r, t_s) (paper Section 6.1.2); `ready_wall_ns` is the
@@ -87,7 +108,16 @@ struct ResultMsg {
   int64_t ready_wall_ns = 0;
   NodeId origin = kNoNode;  ///< node that evaluated the predicate
   QueryId query = 0;        ///< which registered query this pair satisfied
+  /// Query epoch whose set produced this result: max of the two input
+  /// tuples' push epochs — i.e. the epoch the later input was pushed under.
+  Epoch epoch = 0;
 };
+
+/// True iff `m` is an epoch marker, not a join result.
+template <typename R, typename S>
+constexpr bool IsEpochMark(const ResultMsg<R, S>& m) {
+  return m.query == kEpochMarkQuery;
+}
 
 template <typename R, typename S>
 ResultMsg<R, S> MakeResult(const Stamped<R>& r, const Stamped<S>& s,
@@ -102,6 +132,7 @@ ResultMsg<R, S> MakeResult(const Stamped<R>& r, const Stamped<S>& s,
                           ? r.arrival_wall_ns
                           : s.arrival_wall_ns;
   out.origin = origin;
+  out.epoch = r.epoch > s.epoch ? r.epoch : s.epoch;
   return out;
 }
 

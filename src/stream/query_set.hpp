@@ -3,9 +3,16 @@
 // and driver; N registered queries of the same predicate *type* (band/equi
 // predicates with different parameters) are evaluated against each crossing
 // pair in a single store traversal, and every match is tagged with the
-// QueryId that produced it. The set is frozen before the pipeline starts —
-// nodes take an immutable copy, so the hot path reads a plain contiguous
-// vector with no synchronization.
+// QueryId that produced it.
+//
+// Since the live-lifecycle change (DESIGN.md Section 10) a pipeline no
+// longer evaluates ONE frozen QuerySet forever: each *epoch* of a session
+// freezes its own QuerySet (a QueryEpochSnapshot, which also maps the
+// set's dense lane indices back to session-wide QueryIds), and nodes switch
+// snapshots when the epoch-change punctuation passes them. Within an epoch
+// the hot path is unchanged — a plain contiguous predicate vector read with
+// no synchronization; the QueryEpochRegistry (mutexed, cold path only) is
+// touched once per epoch switch.
 //
 // Indexed stores (HashStore/OrderedStore) narrow the visited entries by the
 // *store's* key extractor, which is shared by all queries; registering
@@ -14,6 +21,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
 
@@ -128,6 +138,127 @@ class QuerySet {
 
  private:
   std::vector<Pred> preds_;
+};
+
+/// One frozen epoch of a session's query set: the dense predicate set the
+/// nodes sweep (QuerySet indices are *lane* indices local to this epoch)
+/// plus the mapping from lane index back to the session-wide QueryId that
+/// results must be tagged with. Immutable after construction; shared
+/// read-only between the driver and every pipeline node.
+template <typename Pred>
+struct QueryEpochSnapshot {
+  Epoch epoch = 0;
+  QuerySet<Pred> set;
+  std::vector<QueryId> global_ids;  ///< lane index -> session QueryId
+
+  QueryId GlobalId(std::size_t lane) const { return global_ids[lane]; }
+};
+
+/// All epochs a pipeline has ever been told about, keyed by epoch number.
+/// The driver installs new epochs (AddQuery/RemoveQuery on a live session)
+/// *before* pushing the matching kEpochChange punctuation into the flows,
+/// so a node that sees the punctuation — or an arrival stamped with a newer
+/// epoch — always finds the snapshot here. Lookups are mutex-protected but
+/// happen only on epoch switches (cold path); nodes cache the shared_ptr.
+template <typename Pred>
+class QueryEpochRegistry {
+ public:
+  using Snapshot = QueryEpochSnapshot<Pred>;
+
+  QueryEpochRegistry() = default;
+
+  /// Seeds epoch 0. `global_ids` empty means the identity mapping.
+  explicit QueryEpochRegistry(QuerySet<Pred> initial,
+                              std::vector<QueryId> global_ids = {}) {
+    Install(std::move(initial), std::move(global_ids));
+  }
+
+  /// Registers the next epoch (numbered sequentially from 0) and returns
+  /// its number. Must be called before any tuple or punctuation carrying
+  /// that epoch enters a flow.
+  Epoch Install(QuerySet<Pred> set, std::vector<QueryId> global_ids = {}) {
+    auto snap = std::make_shared<Snapshot>();
+    if (global_ids.empty()) {
+      global_ids.resize(set.size());
+      std::iota(global_ids.begin(), global_ids.end(), QueryId{0});
+    }
+    if (global_ids.size() != set.size()) {
+      throw std::invalid_argument(
+          "QueryEpochRegistry: global_ids size does not match set size");
+    }
+    snap->set = std::move(set);
+    snap->global_ids = std::move(global_ids);
+    std::lock_guard<std::mutex> lock(mu_);
+    snap->epoch = static_cast<Epoch>(epochs_.size());
+    epochs_.push_back(snap);
+    return snap->epoch;
+  }
+
+  /// Snapshot of epoch `e`, or null when `e` was never installed (a
+  /// protocol bug — callers treat it as an anomaly).
+  std::shared_ptr<const Snapshot> Get(Epoch e) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (e >= epochs_.size()) return nullptr;
+    return epochs_[e];
+  }
+
+  std::shared_ptr<const Snapshot> Latest() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epochs_.empty() ? nullptr : epochs_.back();
+  }
+
+  std::size_t epoch_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epochs_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const Snapshot>> epochs_;
+};
+
+/// A node-local MRU cache over a QueryEpochRegistry. During steady state
+/// every lookup hits the front entry (one epoch compare); during an epoch
+/// transition at most a handful of epochs are live at once. Entries older
+/// than the node's fully-switched epoch are pruned on punctuation.
+template <typename Pred>
+class EpochSnapshotCache {
+ public:
+  using Snapshot = QueryEpochSnapshot<Pred>;
+
+  EpochSnapshotCache() = default;
+  explicit EpochSnapshotCache(const QueryEpochRegistry<Pred>* registry)
+      : registry_(registry) {}
+
+  /// Snapshot for epoch `e`; null only on a protocol violation (an epoch
+  /// that was never installed).
+  const Snapshot* Get(Epoch e) {
+    for (std::size_t i = 0; i < cached_.size(); ++i) {
+      if (cached_[i]->epoch == e) {
+        if (i != 0) std::swap(cached_[0], cached_[i]);  // keep MRU first
+        return cached_[0].get();
+      }
+    }
+    if (registry_ == nullptr) return nullptr;
+    std::shared_ptr<const Snapshot> snap = registry_->Get(e);
+    if (snap == nullptr) return nullptr;
+    cached_.insert(cached_.begin(), std::move(snap));
+    return cached_[0].get();
+  }
+
+  /// Drops snapshots of epochs older than `min_live` (pruning on epoch
+  /// switch keeps the cache bounded by the number of in-flight epochs).
+  void PruneBelow(Epoch min_live) {
+    for (std::size_t i = cached_.size(); i > 0; --i) {
+      if (cached_[i - 1]->epoch < min_live) {
+        cached_.erase(cached_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      }
+    }
+  }
+
+ private:
+  const QueryEpochRegistry<Pred>* registry_ = nullptr;
+  std::vector<std::shared_ptr<const Snapshot>> cached_;
 };
 
 }  // namespace sjoin

@@ -174,6 +174,95 @@ TEST(Collector, PunctuationValueTracksSlowerStream) {
   EXPECT_EQ(collector->last_punctuation(), 900);
 }
 
+// -- QueryRouter punctuation broadcast ---------------------------------------
+
+/// Counts punctuation deliveries (the dedupe regression target).
+class PunctuationCounter : public OutputHandler<TR, TS> {
+ public:
+  void OnResult(const ResultMsg<TR, TS>&) override { ++results; }
+  void OnPunctuation(Timestamp tp) override {
+    ++punctuations;
+    last = tp;
+  }
+  void OnQueryRetired(QueryId q) override { retired.push_back(q); }
+
+  int results = 0;
+  int punctuations = 0;
+  Timestamp last = kMinTimestamp;
+  std::vector<QueryId> retired;
+};
+
+// Regression: a handler registered for SEVERAL queries used to receive
+// every punctuation once per registration. Punctuations are a property of
+// the shared windows, so each distinct handler must see each punctuation
+// exactly once per (epoch, punctuation seq).
+TEST(QueryRouter, PunctuationDeliveredOncePerHandler) {
+  QueryRouter<TR, TS> router;
+  PunctuationCounter shared;
+  PunctuationCounter solo;
+  router.Register(&shared);  // q0
+  router.Register(&shared);  // q1 — same handler again
+  router.Register(&solo);    // q2
+  router.BeginEpoch(0, {0, 1, 2});
+
+  router.OnPunctuation(100);
+  EXPECT_EQ(shared.punctuations, 1) << "duplicate broadcast to a handler "
+                                       "registered for two queries";
+  EXPECT_EQ(solo.punctuations, 1);
+
+  router.OnPunctuation(200);
+  EXPECT_EQ(shared.punctuations, 2);  // new seq => delivered again, once
+  EXPECT_EQ(solo.punctuations, 2);
+  EXPECT_EQ(shared.last, 200);
+}
+
+// A retired query's handler stops receiving punctuations (unless it still
+// owns another live query).
+TEST(QueryRouter, RetiredQueriesDropOutOfBroadcast) {
+  QueryRouter<TR, TS> router;
+  PunctuationCounter a;
+  PunctuationCounter b;
+  router.Register(&a);  // q0
+  router.Register(&b);  // q1
+  router.BeginEpoch(0, {0, 1});
+  router.BeginEpoch(1, {0}, /*removed=*/{1});  // q1 removed at epoch 1
+
+  router.OnPunctuation(10);
+  EXPECT_EQ(b.punctuations, 1);  // still draining: broadcast continues
+
+  router.OnEpochDrained(1);  // final results of q1 delivered
+  ASSERT_EQ(b.retired.size(), 1u);
+  EXPECT_EQ(b.retired[0], 1u);
+
+  router.OnPunctuation(20);
+  EXPECT_EQ(a.punctuations, 2);
+  EXPECT_EQ(b.punctuations, 1) << "retired query still receives broadcasts";
+}
+
+// Per-epoch membership: a result tagged with an epoch its query was not a
+// member of counts as misrouted and is dropped (pipeline-bug containment).
+TEST(QueryRouter, EpochMembershipGatesRouting) {
+  QueryRouter<TR, TS> router;
+  PunctuationCounter a;
+  router.Register(&a);  // q0
+  router.BeginEpoch(0, {0});
+  router.BeginEpoch(1, {}, /*removed=*/{0});
+
+  ResultMsg<TR, TS> ok;
+  ok.query = 0;
+  ok.epoch = 0;
+  router.OnResult(ok);
+  EXPECT_EQ(a.results, 1);
+  EXPECT_EQ(router.misrouted(), 0u);
+
+  ResultMsg<TR, TS> stale;
+  stale.query = 0;
+  stale.epoch = 1;  // q0 is not a member of epoch 1
+  router.OnResult(stale);
+  EXPECT_EQ(a.results, 1);
+  EXPECT_EQ(router.misrouted(), 1u);
+}
+
 TEST(Collector, TotalCollectedCounts) {
   Trace<TR, TS> trace;
   trace.push_back(ArriveR<TR, TS>(0, TR{1, 0}));

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "runtime/affinity.hpp"
 #include "runtime/backoff.hpp"
@@ -24,17 +25,45 @@ TEST(Topology, SyntheticEnumerates) {
   EXPECT_EQ(topo.cpus().size(), 4u);
 }
 
-TEST(Topology, RoundRobinPlacement) {
-  Topology topo = Topology::Synthetic(2);
-  EXPECT_EQ(topo.CpuForNode(0, 6), 0);
-  EXPECT_EQ(topo.CpuForNode(1, 6), 1);
-  EXPECT_EQ(topo.CpuForNode(2, 6), 0);  // wraps
-  EXPECT_EQ(topo.CpuForNode(5, 6), 1);
+TEST(Topology, DistinctPlacementWithinMask) {
+  Topology topo = Topology::Synthetic(4);
+  EXPECT_EQ(topo.CpuForNode(0, 4), 0);
+  EXPECT_EQ(topo.CpuForNode(1, 4), 1);
+  EXPECT_EQ(topo.CpuForNode(2, 4), 2);
+  EXPECT_EQ(topo.CpuForNode(3, 4), 3);
 }
 
 TEST(Topology, NegativeNodeIsInvalid) {
   Topology topo = Topology::Synthetic(2);
   EXPECT_EQ(topo.CpuForNode(-1, 4), -1);
+}
+
+// Regression: on an affinity mask smaller than total_nodes + 2 the old
+// round-robin wrapped the helper threads (feeder and collector are
+// registered after the pipeline nodes) onto the SAME cpus as pipeline
+// nodes. Two hard-pinned threads on one cpu serialize the hot path — the
+// scheduler cannot separate them. Oversubscribed threads must run unpinned
+// (-1) instead of colliding with a pinned pipeline node.
+TEST(Topology, SmallMaskDoesNotPinHelpersOntoPipelineNodes) {
+  const int pipeline_nodes = 2;
+  const int total = pipeline_nodes + 2;  // + feeder + collector
+  Topology topo = Topology::Synthetic(pipeline_nodes);
+
+  std::vector<int> node_cpus;
+  for (int n = 0; n < pipeline_nodes; ++n) {
+    node_cpus.push_back(topo.CpuForNode(n, total));
+  }
+  for (int helper = pipeline_nodes; helper < total; ++helper) {
+    const int cpu = topo.CpuForNode(helper, total);
+    for (int node_cpu : node_cpus) {
+      EXPECT_TRUE(cpu == -1 || cpu != node_cpu)
+          << "helper thread " << helper << " pinned onto pipeline cpu "
+          << node_cpu;
+    }
+  }
+  // Pipeline nodes keep one distinct cpu each.
+  EXPECT_EQ(node_cpus[0], 0);
+  EXPECT_EQ(node_cpus[1], 1);
 }
 
 TEST(Affinity, AvailableCpuCountPositive) {

@@ -8,7 +8,12 @@
 //  * QueryId routing and punctuation broadcast.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <memory>
 #include <span>
+#include <sstream>
+#include <tuple>
 #include <vector>
 
 #include "core/join_session.hpp"
@@ -193,13 +198,37 @@ TEST(SessionValidation, ConstructorValidates) {
 TEST(SessionValidation, QuerySetRules) {
   JoinConfig config;
   config.threaded = false;
+  config.window_r = WindowSpec::Count(16);
+  config.window_s = WindowSpec::Count(16);
   JoinSession<TR, TS, KeyEq> session(config);
-  // No queries registered: pushing is a usage error.
-  EXPECT_THROW(session.PushR(TR{1, 0}, 0), std::logic_error);
-  session.AddQuery(KeyEq{}, nullptr);
+  // No queries registered: pushing is a usage error, and the message names
+  // the session state it observed (ValidateJoinConfig convention).
+  try {
+    session.PushR(TR{1, 0}, 0);
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0 live queries"), std::string::npos) << what;
+    EXPECT_NE(what.find("not started"), std::string::npos) << what;
+    EXPECT_NE(what.find("0 registered"), std::string::npos) << what;
+  }
+  auto q0 = session.AddQuery(KeyEq{}, nullptr);
   session.PushR(TR{1, 0}, 0);
-  // The set is frozen once ingestion starts.
-  EXPECT_THROW(session.AddQuery(KeyEq{}, nullptr), std::logic_error);
+  // Live lifecycle: AddQuery after ingestion stages a new epoch instead of
+  // throwing (the PR 2 freeze rule is gone).
+  EXPECT_EQ(session.current_epoch(), 0u);
+  auto q1 = session.AddQuery(KeyEq{}, nullptr);
+  EXPECT_EQ(session.current_epoch(), 1u);
+  session.PushS(TS{1, 1}, 1);
+  session.FinishInput();
+  // Both queries see the (r, s) pair: its later input arrived in epoch 1,
+  // where both are members.
+  EXPECT_EQ(session.results_collected(q0.id), 1u);
+  EXPECT_EQ(session.results_collected(q1.id), 1u);
+  // Removing an unknown/already-removed handle reports failure.
+  EXPECT_TRUE(session.RemoveQuery(q1));
+  EXPECT_FALSE(session.RemoveQuery(q1));
+  EXPECT_FALSE(session.RemoveQuery({99}));
 }
 
 // -- Multi-query equivalence -------------------------------------------------
@@ -405,6 +434,319 @@ TEST(SessionRouting, NullHandlerCountsOnly) {
   ASSERT_EQ(collected.results().size(), 1u);
   EXPECT_EQ(collected.results()[0].query, q1.id);
   EXPECT_EQ(session.results_collected(), 2u);
+}
+
+// -- Live query lifecycle (epoch-tagged query sets) --------------------------
+//
+// Oracle model: a churn scenario is a list of (position, action) mutations
+// over a trace; each mutation installs one epoch, so the epoch active at
+// trace position i is the number of mutations at positions <= i. A result
+// is attributed to the epoch of its LATER input (that is when the pair is
+// evaluated), so the expected result set of query q is: all pairs matching
+// q's predicate whose later input lies in an epoch where q was live. The
+// oracle replays the full trace through a scalar Kang joiner per query,
+// stamping each result with the replay epoch, then filters by q's live
+// interval — a frozen-set replay per epoch, exactly the acceptance model.
+
+struct ChurnAction {
+  std::size_t pos;        ///< applied before trace[pos]
+  int add_width = -1;     ///< >= 0: AddQuery(KeyBand{add_width})
+  int remove_query = -1;  ///< >= 0: RemoveQuery(global id)
+};
+
+struct ChurnScenario {
+  std::vector<KeyBand> initial;      ///< epoch-0 queries
+  std::vector<ChurnAction> actions;  ///< sorted by pos; one epoch each
+};
+
+/// Live interval [first_epoch, last_epoch] of query `q` under `scenario`
+/// (global ids: initial queries first, then adds in action order).
+std::pair<Epoch, Epoch> LiveInterval(const ChurnScenario& scenario,
+                                     QueryId q) {
+  Epoch first = 0;
+  Epoch last = static_cast<Epoch>(scenario.actions.size());
+  QueryId next_added = static_cast<QueryId>(scenario.initial.size());
+  for (std::size_t a = 0; a < scenario.actions.size(); ++a) {
+    const Epoch installed = static_cast<Epoch>(a + 1);
+    if (scenario.actions[a].add_width >= 0) {
+      if (next_added == q) first = installed;
+      ++next_added;
+    }
+    if (scenario.actions[a].remove_query == static_cast<int>(q)) {
+      last = installed - 1;  // member up to and including the prior epoch
+    }
+  }
+  return {first, last};
+}
+
+KeyBand PredOf(const ChurnScenario& scenario, QueryId q) {
+  if (q < scenario.initial.size()) return scenario.initial[q];
+  QueryId next = static_cast<QueryId>(scenario.initial.size());
+  for (const ChurnAction& a : scenario.actions) {
+    if (a.add_width < 0) continue;
+    if (next == q) return KeyBand{a.add_width};
+    ++next;
+  }
+  ADD_FAILURE() << "unknown query " << q;
+  return KeyBand{0};
+}
+
+std::size_t TotalQueries(const ChurnScenario& scenario) {
+  std::size_t n = scenario.initial.size();
+  for (const ChurnAction& a : scenario.actions) n += a.add_width >= 0 ? 1 : 0;
+  return n;
+}
+
+/// Epoch-stamping collector for the oracle replay: every result gets the
+/// epoch active at the position of the event that emitted it.
+class EpochStampingHandler : public OutputHandler<TR, TS> {
+ public:
+  explicit EpochStampingHandler(const Epoch* current) : current_(current) {}
+  void OnResult(const ResultMsg<TR, TS>& m) override {
+    ResultMsg<TR, TS> stamped = m;
+    stamped.epoch = *current_;
+    results_.push_back(stamped);
+  }
+  const std::vector<ResultMsg<TR, TS>>& results() const { return results_; }
+
+ private:
+  const Epoch* current_;
+  std::vector<ResultMsg<TR, TS>> results_;
+};
+
+/// Expected results of query `q`: frozen-set Kang replay of the whole
+/// trace with q's predicate, epoch-stamped, filtered to q's live interval.
+std::vector<ResultMsg<TR, TS>> EpochOracleFor(const ChurnScenario& scenario,
+                                              const Trace<TR, TS>& trace,
+                                              WindowSpec wr, WindowSpec ws,
+                                              QueryId q) {
+  Epoch current = 0;
+  EpochStampingHandler handler(&current);
+  StreamJoiner<TR, TS, KeyBand> joiner(
+      BaseConfig(Algorithm::kKang, wr, ws, /*threaded=*/false), &handler,
+      PredOf(scenario, q));
+  std::size_t next_action = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    while (next_action < scenario.actions.size() &&
+           scenario.actions[next_action].pos == i) {
+      ++current;
+      ++next_action;
+    }
+    if (trace[i].side == StreamSide::kR) {
+      joiner.PushR(trace[i].r, trace[i].ts);
+    } else {
+      joiner.PushS(trace[i].s, trace[i].ts);
+    }
+  }
+  joiner.FinishInput();
+  const auto [first, last] = LiveInterval(scenario, q);
+  std::vector<ResultMsg<TR, TS>> expected;
+  for (const auto& m : handler.results()) {
+    if (m.epoch >= first && m.epoch <= last) expected.push_back(m);
+  }
+  return expected;
+}
+
+/// Multiset equality over (r_seq, s_seq, epoch) — attribution included.
+::testing::AssertionResult SameEpochResultSet(
+    const std::vector<ResultMsg<TR, TS>>& expected,
+    const std::vector<ResultMsg<TR, TS>>& actual) {
+  std::map<std::tuple<Seq, Seq, Epoch>, int> want, got;
+  for (const auto& m : expected) want[{m.r_seq, m.s_seq, m.epoch}]++;
+  for (const auto& m : actual) got[{m.r_seq, m.s_seq, m.epoch}]++;
+  if (want == got) return ::testing::AssertionSuccess();
+  std::ostringstream oss;
+  for (const auto& [k, n] : want) {
+    auto it = got.find(k);
+    if (it == got.end() || it->second != n) {
+      oss << "want (r" << std::get<0>(k) << ", s" << std::get<1>(k)
+          << ", e" << std::get<2>(k) << ") x" << n << " got "
+          << (it == got.end() ? 0 : it->second) << "\n";
+    }
+  }
+  for (const auto& [k, n] : got) {
+    if (want.find(k) == want.end()) {
+      oss << "extra (r" << std::get<0>(k) << ", s" << std::get<1>(k)
+          << ", e" << std::get<2>(k) << ") x" << n << "\n";
+    }
+  }
+  oss << "expected " << expected.size() << " results, got " << actual.size();
+  return ::testing::AssertionFailure() << oss.str();
+}
+
+struct ChurnRun {
+  std::vector<std::vector<ResultMsg<TR, TS>>> per_query;
+  std::vector<QueryId> retired;
+  uint64_t anomalies = 0;
+  Epoch final_epoch = 0;
+  Epoch drained_epoch = 0;
+};
+
+/// Runs a churn scenario on a live session (any engine, threaded or not).
+ChurnRun RunChurnScenario(const ChurnScenario& scenario,
+                          const Trace<TR, TS>& trace, WindowSpec wr,
+                          WindowSpec ws, Algorithm algorithm, bool threaded,
+                          int parallelism = 3) {
+  JoinSession<TR, TS, KeyBand> session(
+      BaseConfig(algorithm, wr, ws, threaded, parallelism));
+  const std::size_t total = TotalQueries(scenario);
+  std::vector<std::unique_ptr<CollectingHandler<TR, TS>>> handlers;
+  std::vector<JoinSession<TR, TS, KeyBand>::QueryHandle> handles;
+  for (std::size_t q = 0; q < scenario.initial.size(); ++q) {
+    handlers.push_back(std::make_unique<CollectingHandler<TR, TS>>());
+    handles.push_back(
+        session.AddQuery(scenario.initial[q], handlers.back().get()));
+  }
+  std::size_t next_action = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    while (next_action < scenario.actions.size() &&
+           scenario.actions[next_action].pos == i) {
+      const ChurnAction& action = scenario.actions[next_action];
+      if (action.add_width >= 0) {
+        handlers.push_back(std::make_unique<CollectingHandler<TR, TS>>());
+        handles.push_back(session.AddQuery(KeyBand{action.add_width},
+                                           handlers.back().get()));
+      }
+      if (action.remove_query >= 0) {
+        EXPECT_TRUE(session.RemoveQuery(
+            handles[static_cast<std::size_t>(action.remove_query)]));
+      }
+      ++next_action;
+    }
+    if (trace[i].side == StreamSide::kR) {
+      session.PushR(trace[i].r, trace[i].ts);
+    } else {
+      session.PushS(trace[i].s, trace[i].ts);
+    }
+  }
+  session.FinishInput();
+  session.Poll();
+  session.Stop();
+
+  ChurnRun run;
+  run.anomalies = session.pipeline_anomalies();
+  run.final_epoch = session.current_epoch();
+  run.drained_epoch = session.drained_epoch();
+  EXPECT_EQ(handlers.size(), total);
+  for (std::size_t q = 0; q < total; ++q) {
+    run.per_query.push_back(handlers[q]->results());
+    for (QueryId r : handlers[q]->retired_queries()) run.retired.push_back(r);
+  }
+  return run;
+}
+
+void CheckChurnAgainstOracle(const ChurnScenario& scenario,
+                             const Trace<TR, TS>& trace, WindowSpec wr,
+                             WindowSpec ws, const ChurnRun& run) {
+  EXPECT_EQ(run.anomalies, 0u);
+  EXPECT_EQ(run.final_epoch, scenario.actions.size());
+  for (QueryId q = 0; q < run.per_query.size(); ++q) {
+    auto expected = EpochOracleFor(scenario, trace, wr, ws, q);
+    EXPECT_TRUE(SameEpochResultSet(expected, run.per_query[q]))
+        << "query " << q;
+    for (const auto& m : run.per_query[q]) {
+      EXPECT_EQ(m.query, q) << "misrouted result";
+    }
+  }
+}
+
+class SessionChurn : public ::testing::TestWithParam<Algorithm> {};
+
+// (a) Results straddling an epoch install are attributed to the correct
+// set — deterministic non-threaded run, exact (r_seq, s_seq, epoch)
+// multiset against the per-epoch frozen-set oracle.
+TEST_P(SessionChurn, StraddlingResultsAttributedToCorrectEpochNonThreaded) {
+  TraceConfig tc;
+  tc.events = 400;
+  tc.key_domain = 8;
+  auto trace = MakeRandomTrace(181, tc);
+  const WindowSpec wr = WindowSpec::Time(50);
+  const WindowSpec ws = WindowSpec::Time(50);
+  ChurnScenario scenario;
+  scenario.initial = {KeyBand{0}, KeyBand{2}};
+  scenario.actions = {
+      {100, /*add_width=*/1, /*remove_query=*/-1},  // epoch 1: add q2
+      {200, /*add_width=*/-1, /*remove_query=*/1},  // epoch 2: remove q1
+      {300, /*add_width=*/3, /*remove_query=*/-1},  // epoch 3: add q3
+  };
+  const ChurnRun run = RunChurnScenario(scenario, trace, wr, ws, GetParam(),
+                                        /*threaded=*/false);
+  CheckChurnAgainstOracle(scenario, trace, wr, ws, run);
+  // The removed query received its final punctuation and nothing after it.
+  EXPECT_NE(std::find(run.retired.begin(), run.retired.end(), QueryId{1}),
+            run.retired.end())
+      << "removed query was never retired";
+}
+
+// (b) Add/remove under the THREADED executor matches the scalar
+// single-epoch oracle replay, on all four engines.
+TEST_P(SessionChurn, ChurnUnderThreadedExecutorMatchesOracle) {
+  TraceConfig tc;
+  tc.events = 600;
+  tc.key_domain = 8;
+  auto trace = MakeRandomTrace(182, tc);
+  // Count windows well above pipeline buffering (bounded-lag regime).
+  const WindowSpec wr = WindowSpec::Count(120);
+  const WindowSpec ws = WindowSpec::Count(120);
+  ChurnScenario scenario;
+  scenario.initial = {KeyBand{0}, KeyBand{2}};
+  scenario.actions = {
+      {150, 1, -1},   // epoch 1: add q2
+      {300, -1, 0},   // epoch 2: remove q0
+      {450, 4, -1},   // epoch 3: add q3
+  };
+  const ChurnRun run = RunChurnScenario(scenario, trace, wr, ws, GetParam(),
+                                        /*threaded=*/true);
+  CheckChurnAgainstOracle(scenario, trace, wr, ws, run);
+  EXPECT_NE(std::find(run.retired.begin(), run.retired.end(), QueryId{0}),
+            run.retired.end())
+      << "removed query was never retired";
+  EXPECT_GE(run.drained_epoch, 2u)
+      << "epoch with the removal never reported drained";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SessionChurn,
+    ::testing::Values(Algorithm::kKang, Algorithm::kCellJoin,
+                      Algorithm::kHandshake, Algorithm::kLowLatency),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return std::string(ToString(info.param));
+    });
+
+// (c) Forced-scalar and the host's best SIMD level agree across an epoch
+// switch: the fused-scan path is re-pointed at each epoch's predicate
+// lanes without re-freezing, and both dispatch levels emit the identical
+// (r_seq, s_seq, epoch) multiset.
+TEST(SessionChurn, ScalarAndSimdAgreeAcrossEpochSwitch) {
+  TraceConfig tc;
+  tc.events = 500;
+  tc.key_domain = 8;
+  auto trace = MakeRandomTrace(183, tc);
+  const WindowSpec wr = WindowSpec::Time(60);
+  const WindowSpec ws = WindowSpec::Time(60);
+  ChurnScenario scenario;
+  scenario.initial = {KeyBand{1}};
+  scenario.actions = {
+      {120, 2, -1},   // epoch 1: add
+      {320, -1, 0},   // epoch 2: remove the original query
+  };
+  for (Algorithm algorithm :
+       {Algorithm::kHandshake, Algorithm::kLowLatency}) {
+    const SimdLevel best = OverrideSimdLevel(DetectedSimdLevel());
+    const ChurnRun simd = RunChurnScenario(scenario, trace, wr, ws, algorithm,
+                                           /*threaded=*/false);
+    OverrideSimdLevel(SimdLevel::kScalar);
+    const ChurnRun scalar = RunChurnScenario(scenario, trace, wr, ws,
+                                             algorithm, /*threaded=*/false);
+    ClearSimdLevelOverride();
+    ASSERT_EQ(simd.per_query.size(), scalar.per_query.size());
+    for (std::size_t q = 0; q < simd.per_query.size(); ++q) {
+      EXPECT_TRUE(SameEpochResultSet(scalar.per_query[q], simd.per_query[q]))
+          << ToString(algorithm) << " level " << static_cast<int>(best)
+          << " vs scalar, query " << q;
+    }
+    CheckChurnAgainstOracle(scenario, trace, wr, ws, scalar);
+  }
 }
 
 TEST(SessionRouting, PunctuationsBroadcastToAllQueries) {
