@@ -1,0 +1,297 @@
+// Ablation: hardware placement policies (DESIGN.md Section 11). The paper's
+// LLHJ deployment owes its short channel hops to laying the pipeline over
+// the Magny Cours HyperTransport ring; this bench measures what our
+// PlacementPlan buys on the host it runs on by driving the SAME streams
+// through a threaded LLHJ JoinSession under each policy:
+//
+//   auto    — compact placement: neighbouring pipeline nodes on
+//             neighbouring cores, channel rings homed on their consumer's
+//             NUMA node (the deployment default);
+//   compact — auto's current concrete plan, named explicitly;
+//   scatter — positions round-robined across NUMA nodes (deliberately
+//             locality-hostile baseline);
+//   none    — no pinning, no memory binding (scheduler's choice).
+//
+// Two phases per policy over identical input:
+//   fig17-style throughput — max-rate batch ingestion, tuples/sec;
+//   fig19-style latency    — paced per-tuple ingestion, avg/max result
+//                            latency from the later input's arrival.
+//
+// Correctness guard: placement moves threads and memory, never results —
+// per-policy result counts AND an order-independent result-set hash must be
+// identical across all four policies in both phases; exit 1 on mismatch.
+// On single-socket hosts the policies converge (auto == today's flat
+// sibling-order pinning); rows still record socket/node counts via the host
+// tag so the trajectory shows which hosts exercised real NUMA spreads.
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/join_session.hpp"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+namespace {
+
+struct Config {
+  int64_t tuples = 20'000;      ///< per stream, throughput phase
+  int64_t lat_tuples = 6'000;   ///< per stream, paced latency phase
+  int64_t window = 512;         ///< count window per stream
+  int nodes = 2;
+  int batch = 64;
+  double rate = 3000.0;         ///< tuples/sec/stream, latency phase
+  int64_t key_domain = kPaperKeyDomain;
+  uint64_t seed = 42;
+};
+
+JoinConfig SessionConfig(const Config& c, PlacementPolicy policy) {
+  JoinConfig config;
+  config.algorithm = Algorithm::kLowLatency;
+  config.parallelism = c.nodes;
+  config.window_r = WindowSpec::Count(c.window);
+  config.window_s = WindowSpec::Count(c.window);
+  config.threaded = true;
+  config.placement = policy;
+  return config;
+}
+
+struct Streams {
+  std::vector<RTuple> rs;
+  std::vector<STuple> ss;
+  std::vector<Timestamp> ts_r;
+  std::vector<Timestamp> ts_s;
+};
+
+Streams MakeStreams(const Config& c, int64_t tuples) {
+  Streams out;
+  Rng rng(c.seed);
+  Timestamp ts = 0;
+  for (int64_t i = 0; i < tuples; ++i) {
+    out.rs.push_back(MakeBandR(rng, c.key_domain));
+    out.ts_r.push_back(ts++);
+    out.ss.push_back(MakeBandS(rng, c.key_domain));
+    out.ts_s.push_back(ts++);
+  }
+  return out;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Counts results, accumulates an order-independent set hash, and records
+/// delivery latency against the later input's arrival.
+class PlacementHandler : public OutputHandler<RTuple, STuple> {
+ public:
+  void OnResult(const ResultMsg<RTuple, STuple>& m) override {
+    ++count_;
+    hash_ += Mix64(Mix64(static_cast<uint64_t>(m.r_seq)) ^
+                   (static_cast<uint64_t>(m.s_seq) << 1) ^
+                   (static_cast<uint64_t>(m.query) << 2));
+    if (m.ready_wall_ns > 0) {
+      latency_ms_.Add(NsToMs(NowNs() - m.ready_wall_ns));
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t hash() const { return hash_; }
+  const RunningStat& latency_ms() const { return latency_ms_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t hash_ = 0;  // commutative sum of per-result mixes
+  RunningStat latency_ms_;
+};
+
+struct PhaseStats {
+  double wall_s = 0.0;
+  uint64_t results = 0;
+  uint64_t hash = 0;
+  double latency_avg_ms = 0.0;
+  double latency_max_ms = 0.0;
+  uint64_t anomalies = 0;
+};
+
+/// fig17-style: max-rate batch ingestion of the whole stream.
+PhaseStats RunThroughput(const Config& c, const Streams& in,
+                         PlacementPolicy policy) {
+  JoinSession<RTuple, STuple, BandPredicate> session(SessionConfig(c, policy));
+  PlacementHandler handler;
+  session.AddQuery(BandPredicate{10, 10.0f}, &handler);
+
+  const std::size_t chunk = static_cast<std::size_t>(c.batch);
+  const int64_t start = NowNs();
+  for (std::size_t i = 0; i < in.rs.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, in.rs.size() - i);
+    session.PushR(std::span<const RTuple>(in.rs.data() + i, n),
+                  std::span<const Timestamp>(in.ts_r.data() + i, n));
+    session.PushS(std::span<const STuple>(in.ss.data() + i, n),
+                  std::span<const Timestamp>(in.ts_s.data() + i, n));
+    session.Poll();
+  }
+  session.FinishInput();
+  const int64_t end = NowNs();
+  session.Stop();
+
+  PhaseStats stats;
+  stats.wall_s = NsToSec(end - start);
+  stats.results = handler.count();
+  stats.hash = handler.hash();
+  stats.anomalies = session.pipeline_anomalies();
+  return stats;
+}
+
+/// fig19-style: paced per-tuple ingestion at c.rate tuples/sec/stream.
+PhaseStats RunLatency(const Config& c, const Streams& in,
+                      PlacementPolicy policy) {
+  JoinSession<RTuple, STuple, BandPredicate> session(SessionConfig(c, policy));
+  PlacementHandler handler;
+  session.AddQuery(BandPredicate{10, 10.0f}, &handler);
+
+  const int64_t period_ns =
+      c.rate <= 0 ? 0 : static_cast<int64_t>(1e9 / (2.0 * c.rate) + 0.5);
+  const int64_t start = NowNs();
+  int64_t next = start;
+  for (std::size_t i = 0; i < in.rs.size(); ++i) {
+    while (NowNs() < next) session.Poll();  // pace against the wall clock
+    session.PushR(in.rs[i], in.ts_r[i]);
+    next += period_ns;
+    while (NowNs() < next) session.Poll();
+    session.PushS(in.ss[i], in.ts_s[i]);
+    next += period_ns;
+    session.Poll();
+  }
+  session.FinishInput();
+  const int64_t end = NowNs();
+  session.Stop();
+
+  PhaseStats stats;
+  stats.wall_s = NsToSec(end - start);
+  stats.results = handler.count();
+  stats.hash = handler.hash();
+  stats.latency_avg_ms = handler.latency_ms().mean();
+  stats.latency_max_ms = handler.latency_ms().max();
+  stats.anomalies = session.pipeline_anomalies();
+  return stats;
+}
+
+void EmitRow(JsonEmitter* json, const Config& c, const char* phase,
+             PlacementPolicy policy, const PhaseStats& stats,
+             int64_t tuples) {
+  const double rate =
+      stats.wall_s <= 0 ? 0.0 : static_cast<double>(tuples) / stats.wall_s;
+  JsonRow row;
+  row.Str("phase", phase)
+      .Str("placement", ToString(policy))
+      .Int("tuples_per_stream", tuples)
+      .Int("window", c.window)
+      .Int("nodes", c.nodes)
+      .Int("batch", c.batch)
+      .Num("wall_s", stats.wall_s)
+      .Num("tuples_per_sec", rate)
+      .Int("results", static_cast<int64_t>(stats.results))
+      .Num("latency_avg_ms", stats.latency_avg_ms)
+      .Num("latency_max_ms", stats.latency_max_ms)
+      .Int("anomalies", static_cast<int64_t>(stats.anomalies));
+  json->Emit(row);
+}
+
+constexpr PlacementPolicy kPolicies[] = {
+    PlacementPolicy::kAuto, PlacementPolicy::kCompact,
+    PlacementPolicy::kScatter, PlacementPolicy::kNone};
+
+/// Verifies count+hash identity across policies (and zero anomalies under
+/// every policy, the baseline included); returns false on mismatch.
+bool CheckIdentical(const char* phase, const std::vector<PhaseStats>& stats) {
+  bool ok = true;
+  if (!stats.empty() && stats[0].anomalies != 0) {
+    std::printf("ERROR: %s anomalies under placement=%s\n", phase,
+                ToString(kPolicies[0]));
+    ok = false;
+  }
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    if (stats[i].results != stats[0].results ||
+        stats[i].hash != stats[0].hash) {
+      std::printf("ERROR: %s result set diverged under placement=%s "
+                  "(%llu results hash %llx vs %llu hash %llx under %s)\n",
+                  phase, ToString(kPolicies[i]),
+                  static_cast<unsigned long long>(stats[i].results),
+                  static_cast<unsigned long long>(stats[i].hash),
+                  static_cast<unsigned long long>(stats[0].results),
+                  static_cast<unsigned long long>(stats[0].hash),
+                  ToString(kPolicies[0]));
+      ok = false;
+    }
+    if (stats[i].anomalies != 0) {
+      std::printf("ERROR: %s anomalies under placement=%s\n", phase,
+                  ToString(kPolicies[i]));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Config c;
+  c.tuples = flags.Int("tuples", c.tuples);
+  c.lat_tuples = flags.Int("lat_tuples", std::min<int64_t>(c.tuples, 6'000));
+  c.window = flags.Int("window", c.window);
+  c.nodes = static_cast<int>(flags.Int("nodes", c.nodes));
+  c.batch = static_cast<int>(flags.Int("batch", c.batch));
+  c.rate = flags.Double("rate", c.rate);
+  c.key_domain = flags.Int("domain", c.key_domain);
+  c.seed = static_cast<uint64_t>(flags.Int("seed", 42));
+
+  const Topology topo = Topology::Detect();
+  PrintHeader("ablation_placement — auto vs compact vs scatter vs none",
+              "ROADMAP: NUMA-aware channel placement (paper Section 7 "
+              "deployment layout)");
+  std::printf("band workload, count windows %lld/%lld, %d nodes, batch %d; "
+              "host model: %d cpus, %d packages, %d nodes, smt %d\n\n",
+              static_cast<long long>(c.window),
+              static_cast<long long>(c.window), c.nodes, c.batch,
+              topo.cpu_count(), topo.package_count(), topo.node_count(),
+              topo.max_smt());
+
+  JsonEmitter json(flags, "ablation_placement");
+
+  const Streams tput_in = MakeStreams(c, c.tuples);
+  const Streams lat_in = MakeStreams(c, c.lat_tuples);
+
+  std::vector<PhaseStats> tput, lat;
+  for (PlacementPolicy policy : kPolicies) {
+    tput.push_back(RunThroughput(c, tput_in, policy));
+    lat.push_back(RunLatency(c, lat_in, policy));
+  }
+
+  bool ok = CheckIdentical("throughput", tput);
+  ok = CheckIdentical("latency", lat) && ok;
+
+  std::printf("  %-8s  %12s  %12s  %10s  %12s  %12s\n", "policy", "tput(t/s)",
+              "results", "lat tput", "lat avg(ms)", "lat max(ms)");
+  for (std::size_t i = 0; i < std::size(kPolicies); ++i) {
+    EmitRow(&json, c, "throughput", kPolicies[i], tput[i], c.tuples);
+    EmitRow(&json, c, "latency", kPolicies[i], lat[i], c.lat_tuples);
+    std::printf("  %-8s  %12.0f  %12llu  %10.0f  %12.3f  %12.3f\n",
+                ToString(kPolicies[i]),
+                static_cast<double>(c.tuples) / tput[i].wall_s,
+                static_cast<unsigned long long>(tput[i].results),
+                static_cast<double>(c.lat_tuples) / lat[i].wall_s,
+                lat[i].latency_avg_ms, lat[i].latency_max_ms);
+  }
+  if (!ok) return 1;
+  std::printf("\nresult sets identical across all %zu policies (both "
+              "phases)\n",
+              std::size(kPolicies));
+  return 0;
+}

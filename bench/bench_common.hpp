@@ -140,9 +140,22 @@ struct RunStats {
   }
 };
 
+/// The default hardware placement of the figure benches: pipeline nodes
+/// over neighbouring cores of the detected topology, helpers on leftover
+/// cores, channel rings homed on their consumer's NUMA node. On
+/// single-socket hosts this degrades to the historical flat sibling-order
+/// pinning.
+inline PlacementPlan AutoPlacement(int nodes) {
+  return PlacementPlan::Build(Topology::Detect(), PlacementPolicy::kAuto,
+                              nodes, kHelperCount);
+}
+
 /// Runs `pipeline` threaded against a band workload for `duration_s`.
 /// The collector runs on the calling thread. When `sort_output` is true a
 /// PunctuationSorter is placed behind the collector (requires punctuate).
+/// A pipeline built with a placement plan gets its node threads placed by
+/// the SAME plan (feeder as the feeder-helper); an unplaced pipeline keeps
+/// the flat auto layout.
 template <typename Pipeline>
 RunStats RunPipelineBench(Pipeline& pipeline, const Workload& workload,
                           int batch_size, double duration_s,
@@ -161,13 +174,20 @@ RunStats RunPipelineBench(Pipeline& pipeline, const Workload& workload,
   LatencyRecorder<RTuple, STuple> latency(tail);
   auto collector = pipeline.MakeCollector(&latency);
 
-  ThreadedExecutor executor;
-  executor.Add(&feeder);
-  for (auto* node : pipeline.nodes()) executor.Add(node);
+  auto executor =
+      pipeline.placement().empty()
+          ? std::make_unique<ThreadedExecutor>()
+          : std::make_unique<ThreadedExecutor>(pipeline.placement());
+  ThreadedExecutor& exec = *executor;
+  for (auto* node : pipeline.nodes()) exec.Add(node);
+  exec.AddHelper(&feeder);
+  // The calling thread vacuums the result rings: adopt them before the
+  // node threads start producing.
+  collector->PrefaultQueues();
 
   const int64_t start = NowNs();
   latency.Anchor(start);
-  executor.Start();
+  exec.Start();
 
   const int64_t deadline =
       start + static_cast<int64_t>(duration_s * 1e9);
@@ -188,7 +208,7 @@ RunStats RunPipelineBench(Pipeline& pipeline, const Workload& workload,
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   const int64_t end = NowNs();
-  executor.Stop();
+  exec.Stop();
   collector->VacuumOnce();
 
   RunStats stats;
@@ -214,6 +234,7 @@ inline RunStats RunHsjBench(int nodes, const Workload& workload,
   options.nodes = nodes;
   options.channel_capacity = static_cast<std::size_t>(
       std::max<int64_t>(64, std::min<int64_t>(1024, window_tuples / 4)));
+  options.placement = AutoPlacement(nodes);
   HsjPipeline<RTuple, STuple, BandPredicate> pipeline(options);
   return RunPipelineBench(pipeline, workload, batch, duration_s);
 }
@@ -225,6 +246,7 @@ inline RunStats RunLlhjBench(int nodes, const Workload& workload, int batch,
   typename LlhjPipeline<RTuple, STuple, BandPredicate>::Options options;
   options.nodes = nodes;
   options.punctuate = punctuate || sort_output;
+  options.placement = AutoPlacement(nodes);
   LlhjPipeline<RTuple, STuple, BandPredicate> pipeline(options);
   return RunPipelineBench(pipeline, workload, batch, duration_s, sort_output);
 }

@@ -15,6 +15,7 @@
 #   ablation_multi_query -> BENCH_ABLATION_MULTI_QUERY.json  (appended)
 #   ablation_simd_probe  -> BENCH_ABLATION_SIMD_PROBE.json   (appended)
 #   ablation_query_churn -> BENCH_ABLATION_QUERY_CHURN.json  (appended)
+#   ablation_placement   -> BENCH_ABLATION_PLACEMENT.json    (appended)
 #
 # --smoke: CI mode. Runs every tracked bench at short duration, writes the
 # JSON rows to a throwaway directory instead of the repo trajectory files,
@@ -34,7 +35,13 @@ fi
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
-HOST_TAG="${HOST_TAG:-$(hostname)-$(nproc)c}"
+# Host tag carries core, socket, and NUMA-node counts so trajectory rows
+# from single-socket and multi-socket hosts stay distinguishable (placement
+# results only mean something relative to the hardware model).
+SOCKETS="$(lscpu 2>/dev/null | awk '/^Socket\(s\):/{print $2}')"
+NUMA_NODES="$(ls -d /sys/devices/system/node/node[0-9]* 2>/dev/null | wc -l)"
+[[ "$NUMA_NODES" -ge 1 ]] || NUMA_NODES=1
+HOST_TAG="${HOST_TAG:-$(hostname)-$(nproc)c-${SOCKETS:-1}s${NUMA_NODES}n}"
 STAMP="${STAMP:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 
 # Sizing knobs (defaults match the committed trajectory rows; scale up on
@@ -51,6 +58,9 @@ SIMD_WINDOW="${SIMD_WINDOW:-16384}"
 SIMD_DURATION="${SIMD_DURATION:-0.4}"
 CHURN_TUPLES="${CHURN_TUPLES:-20000}"
 CHURN_INTERVAL="${CHURN_INTERVAL:-32}"
+PLACEMENT_TUPLES="${PLACEMENT_TUPLES:-20000}"
+PLACEMENT_LAT_TUPLES="${PLACEMENT_LAT_TUPLES:-6000}"
+PLACEMENT_RATE="${PLACEMENT_RATE:-3000}"
 
 OUT="$ROOT"
 if [[ "$SMOKE" == "1" ]]; then
@@ -64,6 +74,9 @@ if [[ "$SMOKE" == "1" ]]; then
   SIMD_DURATION=0.05
   CHURN_TUPLES=3000
   CHURN_INTERVAL=8
+  PLACEMENT_TUPLES=3000
+  PLACEMENT_LAT_TUPLES=600
+  PLACEMENT_RATE=20000
   echo "smoke mode: rows -> $OUT (repo BENCH_*.json untouched)"
 fi
 
@@ -126,6 +139,12 @@ run ablation_query_churn --tuples="$CHURN_TUPLES" --nodes="$NODES" \
   --interval="$CHURN_INTERVAL" \
   --json_out="$OUT/BENCH_ABLATION_QUERY_CHURN.json" "${TAGS[@]}"
 check_rows ablation_query_churn "$OUT/BENCH_ABLATION_QUERY_CHURN.json"
+
+run ablation_placement --tuples="$PLACEMENT_TUPLES" \
+  --lat_tuples="$PLACEMENT_LAT_TUPLES" --rate="$PLACEMENT_RATE" \
+  --nodes="$NODES" \
+  --json_out="$OUT/BENCH_ABLATION_PLACEMENT.json" "${TAGS[@]}"
+check_rows ablation_placement "$OUT/BENCH_ABLATION_PLACEMENT.json"
 
 if [[ "$FAILED" == "1" ]]; then
   echo "trajectory smoke FAILED: at least one tracked bench emitted no rows"

@@ -70,11 +70,15 @@ int main(int argc, char** argv) {
   auto script = BuildDriverScript(trace, WindowSpec::Count(4096),
                                   WindowSpec::Count(4096));
 
-  // Hash-indexed LLHJ pipeline keyed on the zone id.
+  // Hash-indexed LLHJ pipeline keyed on the zone id, laid over the host's
+  // hardware model: neighbouring nodes on neighbouring cores, channel rings
+  // homed on their consumer's NUMA node.
   using Pipeline = IndexedLlhjPipeline<TempReading, SmokeReading, FireRisk,
                                        TempZone, SmokeZone>;
   Pipeline::Options options;
   options.nodes = 4;
+  options.placement = PlacementPlan::Build(
+      Topology::Detect(), PlacementPolicy::kAuto, options.nodes);
   Pipeline pipeline(options);
 
   ScriptSource<TempReading, SmokeReading> source(&script);
@@ -86,10 +90,13 @@ int main(int argc, char** argv) {
   CollectingHandler<TempReading, SmokeReading> alarms;
   auto collector = pipeline.MakeCollector(&alarms);
 
-  ThreadedExecutor executor;
-  executor.Add(&feeder);
+  // The same plan places the node threads; feeder and collector are
+  // helpers (leftover cores near the pipeline ends, unpinned when the
+  // host has none to spare).
+  ThreadedExecutor executor(pipeline.placement());
   for (auto* node : pipeline.nodes()) executor.Add(node);
-  executor.Add(collector.get());
+  executor.AddHelper(&feeder);
+  executor.AddHelper(collector.get());
   executor.Start();
   while (!feeder.finished()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));

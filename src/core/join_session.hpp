@@ -64,6 +64,8 @@
 #include "llhj/llhj_pipeline.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/placement.hpp"
+#include "runtime/topology.hpp"
 #include "stream/collector.hpp"
 #include "stream/handlers.hpp"
 #include "stream/message.hpp"
@@ -120,6 +122,19 @@ struct JoinConfig {
   /// (deterministic; useful for tests and small workloads).
   bool threaded = true;
 
+  /// Hardware placement policy for threaded pipelines (see
+  /// runtime/placement.hpp): where node threads are pinned and which NUMA
+  /// node each channel ring is homed on (always the consumer's). kAuto
+  /// degrades to flat sibling-order pinning on single-socket hosts;
+  /// kNone pins and binds nothing. Ignored when threaded == false.
+  PlacementPolicy placement = PlacementPolicy::kAuto;
+
+  /// Hardware model to place over. Null = detect once at session start
+  /// (the detected topology is cached and reused for the session's whole
+  /// lifetime). Tests inject synthetic shapes here; deployments on
+  /// restricted cpusets can pass a pre-filtered topology.
+  std::shared_ptr<const Topology> topology;
+
   /// HSJ only: expected window size in tuples used to derive the per-node
   /// segment capacity. Required (> 0) when either window is time-based —
   /// it must be a *lower* estimate of the live window (smaller segments
@@ -153,6 +168,13 @@ inline void ValidateJoinConfig(const JoinConfig& config) {
     throw std::invalid_argument(
         "JoinConfig: msgs_per_step must be >= 1, got " +
         std::to_string(config.msgs_per_step));
+  }
+  if (static_cast<uint8_t>(config.placement) >
+      static_cast<uint8_t>(PlacementPolicy::kNone)) {
+    throw std::invalid_argument(
+        "JoinConfig: placement must be auto|compact|scatter|none, got enum "
+        "value " +
+        std::to_string(static_cast<int>(config.placement)));
   }
   if (config.hsj_window_tuples_hint < 0) {
     // When given at all (non-zero), the hint must be a usable window size.
@@ -505,6 +527,7 @@ class JoinSession {
                 8, static_cast<std::size_t>(window_tuples / 4)));
         hsj_lag_budget_ = std::max<std::size_t>(
             16, static_cast<std::size_t>(window_tuples / 2));
+        options.placement = SessionPlacement();
         hsj_ = std::make_unique<HsjPipeline<R, S, Pred>>(options, initial,
                                                          std::move(ids));
         registry_ = hsj_->registry();
@@ -520,6 +543,7 @@ class JoinSession {
         options.msgs_per_step = config_.msgs_per_step;
         options.home_policy = config_.home_policy;
         options.punctuate = config_.punctuate;
+        options.placement = SessionPlacement();
         llhj_ = std::make_unique<LlhjPipeline<R, S, Pred>>(options, initial,
                                                            std::move(ids));
         registry_ = llhj_->registry();
@@ -580,9 +604,35 @@ class JoinSession {
     return config_.hsj_window_tuples_hint;
   }
 
+  /// The session's placement plan, built once from the configured (or
+  /// once-detected, then cached) topology and reused for the session's
+  /// whole lifetime — the pipeline homes its channel memory with the SAME
+  /// plan the executor pins the node threads with.
+  const PlacementPlan& SessionPlacement() {
+    if (!placement_built_) {
+      placement_built_ = true;
+      if (config_.threaded) {
+        if (config_.topology == nullptr) {
+          config_.topology = std::make_shared<const Topology>(
+              Topology::Detect());
+        }
+        plan_ = PlacementPlan::Build(*config_.topology, config_.placement,
+                                     config_.parallelism, kHelperCount);
+      }
+      // Non-threaded sessions keep the empty plan: everything runs on the
+      // caller's thread, so there is nothing to pin or bind.
+    }
+    return plan_;
+  }
+
   void SetUpExecutor(std::vector<Steppable*> nodes) {
+    // The session driver thread is the feeder and the polling thread the
+    // collector; both stay unpinned, but the result rings were homed on
+    // the plan's collector node — pull them to the actual polling thread
+    // now (before the node threads can produce).
+    collector_->PrefaultQueues();
     if (config_.threaded) {
-      executor_ = std::make_unique<ThreadedExecutor>();
+      executor_ = std::make_unique<ThreadedExecutor>(SessionPlacement());
       for (Steppable* node : nodes) executor_->Add(node);
       executor_->Start();
     } else {
@@ -899,6 +949,10 @@ class JoinSession {
   }
 
   JoinConfig config_;
+  // Hardware placement, built once per session (SessionPlacement) and
+  // reused across the session's lifetime.
+  PlacementPlan plan_;
+  bool placement_built_ = false;
   ExpiryTracker tracker_;
   QueryRouter<R, S> router_;
   FanOutSink fan_out_;

@@ -116,6 +116,20 @@ class LlhjNode : public Steppable {
         left_out_(left_out),
         hwm_(hwm) {}
 
+  /// Placement hook (runs on this node's pinned thread, before any
+  /// production anywhere — see ThreadedExecutor's start barrier): pull the
+  /// input rings onto this node's NUMA node and first-touch the owner-local
+  /// staging buffers here instead of on the pipeline-building thread.
+  void OnThreadStart() override {
+    left_in_->PrefaultByConsumer();
+    right_in_->PrefaultByConsumer();
+    right_out_.Prewarm(kStagePrewarm);
+    left_out_.Prewarm(kStagePrewarm);
+    if constexpr (requires(Sink* s) { s->Prewarm(kStagePrewarm); }) {
+      sink_->Prewarm(kStagePrewarm);
+    }
+  }
+
   bool Step() override {
     bool progress = right_out_.Drain() | left_out_.Drain();
     if constexpr (requires(Sink* s) { s->Drain(); }) {

@@ -15,6 +15,7 @@
 #include "llhj/llhj_node.hpp"
 #include "llhj/store.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/placement.hpp"
 #include "runtime/spsc_queue.hpp"
 #include "stream/collector.hpp"
 #include "stream/hwm.hpp"
@@ -40,6 +41,12 @@ class LlhjPipeline {
     int home_block = 64;
     bool punctuate = false;
     int msgs_per_step = 8;
+    /// Hardware placement: channel rings are homed on their CONSUMER's
+    /// NUMA node (node k's input rings on k's node, result rings on the
+    /// collector's). An empty plan (default) binds nothing. Register the
+    /// node threads with the SAME plan (ThreadedExecutor) so threads and
+    /// memory agree.
+    PlacementPlan placement;
   };
 
   explicit LlhjPipeline(const Options& options, Pred pred = Pred{})
@@ -63,13 +70,18 @@ class LlhjPipeline {
 
     l2r_.reserve(static_cast<std::size_t>(n));
     r2l_.reserve(static_cast<std::size_t>(n));
+    const int collector_home =
+        options_.placement.NodeForHelper(kCollectorHelper);
     for (int k = 0; k < n; ++k) {
+      // Both input rings of node k are consumed by node k's thread; the
+      // result ring by the collector.
+      const int home = options_.placement.NodeForPosition(k);
       l2r_.push_back(std::make_unique<SpscQueue<FlowMsg<R>>>(
-          options_.channel_capacity));
+          options_.channel_capacity, home));
       r2l_.push_back(std::make_unique<SpscQueue<FlowMsg<S>>>(
-          options_.channel_capacity));
+          options_.channel_capacity, home));
       result_queues_.push_back(std::make_unique<SpscQueue<ResultMsg<R, S>>>(
-          options_.result_capacity));
+          options_.result_capacity, collector_home));
       sinks_.push_back(std::make_unique<Sink>(result_queues_.back().get()));
     }
 
@@ -119,6 +131,16 @@ class LlhjPipeline {
 
   const HighWaterMarks& hwm() const { return hwm_; }
   const Options& options() const { return options_; }
+  /// The plan channel memory was homed with (empty = unplaced).
+  const PlacementPlan& placement() const { return options_.placement; }
+  /// Placement introspection for tests: the NUMA home assigned to node k's
+  /// input rings / the reported placement of its left input ring.
+  int channel_home(int k) const {
+    return l2r_[static_cast<std::size_t>(k)]->home_node();
+  }
+  ChannelPlacement channel_placement(int k) const {
+    return l2r_[static_cast<std::size_t>(k)]->placement();
+  }
   /// The epoch-0 set (what the pipeline started with).
   const QuerySet<Pred>& queries() const { return epoch0_->set; }
   /// Epoch registry shared with every node; a live session installs new

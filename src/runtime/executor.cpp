@@ -20,23 +20,39 @@ std::size_t SequentialExecutor::RunUntilQuiescent(std::size_t max_passes) {
 ThreadedExecutor::~ThreadedExecutor() { Stop(); }
 
 void ThreadedExecutor::Add(Steppable* s, int cpu_hint) {
-  entries_.push_back(Entry{s, cpu_hint});
+  entries_.push_back(Entry{s, cpu_hint, /*helper=*/false, positions_++});
+}
+
+void ThreadedExecutor::AddHelper(Steppable* s, int cpu_hint) {
+  entries_.push_back(Entry{s, cpu_hint, /*helper=*/true, helpers_++});
 }
 
 void ThreadedExecutor::Start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
   stop_.store(false, std::memory_order_release);
-  threads_.reserve(entries_.size());
-  int index = 0;
+  ready_.store(0, std::memory_order_release);
+  if (!have_plan_) {
+    plan_ = PlacementPlan::Build(topology_, policy_, positions_, helpers_);
+    have_plan_ = true;
+  }
+  const std::size_t count = entries_.size();
+  threads_.reserve(count);
   for (auto& entry : entries_) {
     Entry resolved = entry;
     if (resolved.cpu_hint < 0) {
-      resolved.cpu_hint =
-          topology_.CpuForNode(index, static_cast<int>(entries_.size()));
+      resolved.cpu_hint = resolved.helper
+                              ? plan_.CpuForHelper(resolved.ordinal)
+                              : plan_.CpuForPosition(resolved.ordinal);
     }
-    ++index;
-    threads_.emplace_back([this, resolved] { ThreadMain(resolved); });
+    threads_.emplace_back([this, resolved, count] {
+      ThreadMain(resolved, count);
+    });
   }
+  // Start barrier, caller side: once this clears, every thread has pinned
+  // itself and run OnThreadStart (consumer-side channel prefault), so the
+  // caller may start producing.
+  Backoff backoff;
+  while (ready_.load(std::memory_order_acquire) < count) backoff.Pause();
 }
 
 void ThreadedExecutor::Stop() {
@@ -49,8 +65,18 @@ void ThreadedExecutor::Stop() {
   running_.store(false, std::memory_order_release);
 }
 
-void ThreadedExecutor::ThreadMain(const Entry& entry) {
+void ThreadedExecutor::ThreadMain(const Entry& entry,
+                                  std::size_t thread_count) {
   PinThisThread(entry.cpu_hint);
+  entry.steppable->OnThreadStart();
+  ready_.fetch_add(1, std::memory_order_acq_rel);
+  // Start barrier, thread side: no Step (production!) before every
+  // OnThreadStart (consumer-side prefault) has completed.
+  Backoff barrier_wait;
+  while (ready_.load(std::memory_order_acquire) < thread_count &&
+         !stop_.load(std::memory_order_acquire)) {
+    barrier_wait.Pause();
+  }
   Backoff backoff;
   while (!stop_.load(std::memory_order_acquire)) {
     if (entry.steppable->Step()) {

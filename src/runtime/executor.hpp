@@ -6,9 +6,18 @@
 //    oracle comparisons and the schedule fuzzer: correctness of the
 //    handshake-join protocols must not depend on thread timing, so tests
 //    drive nodes in explicit (including adversarial) orders.
-//  * ThreadedExecutor — one thread per node, pinned via Topology, with
-//    progressive backoff when idle. This is the deployment configuration
-//    and what all benchmarks use.
+//  * ThreadedExecutor — one thread per steppable, placed via a
+//    PlacementPlan (pipeline positions on neighbouring cores, helpers on
+//    leftover cores — see runtime/placement.hpp), with progressive backoff
+//    when idle. This is the deployment configuration and what all
+//    benchmarks use.
+//
+// Thread-start protocol (ThreadedExecutor): every thread pins itself, runs
+// its steppable's OnThreadStart() hook, and then waits on a start barrier
+// until ALL threads have done so; Start() returns only after the barrier
+// clears. Consumer-side placement hooks (SpscQueue::PrefaultByConsumer)
+// therefore always run before any producer pushes — no data race, no page
+// first-touched by the wrong thread.
 #pragma once
 
 #include <atomic>
@@ -19,6 +28,7 @@
 #include <vector>
 
 #include "runtime/backoff.hpp"
+#include "runtime/placement.hpp"
 #include "runtime/topology.hpp"
 
 namespace sjoin {
@@ -31,6 +41,12 @@ class Steppable {
   /// Processes a bounded amount of pending work. Returns true iff any
   /// message was consumed or produced (used for quiescence detection).
   virtual bool Step() = 0;
+
+  /// Placement hook, called exactly once on the thread that will run
+  /// Step() — after pinning, before any Step() anywhere (ThreadedExecutor's
+  /// start barrier). Nodes prefault their consumer-side channel memory
+  /// here. Default: nothing.
+  virtual void OnThreadStart() {}
 };
 
 /// Deterministic single-threaded executor.
@@ -54,20 +70,39 @@ class SequentialExecutor {
   std::vector<Steppable*> steppables_;
 };
 
-/// One pinned thread per steppable.
+/// One placed thread per steppable.
 class ThreadedExecutor {
  public:
-  explicit ThreadedExecutor(Topology topology = Topology::Detect())
-      : topology_(std::move(topology)) {}
+  /// Places registered steppables by building a plan over `topology` with
+  /// `policy` at Start() time: plain Add() order gives the pipeline
+  /// positions, AddHelper() order the helper ordinals.
+  explicit ThreadedExecutor(Topology topology = Topology::Detect(),
+                            PlacementPolicy policy = PlacementPolicy::kAuto)
+      : topology_(std::move(topology)), policy_(policy) {}
+
+  /// Uses a prebuilt plan (the JoinSession path: the same plan also chose
+  /// the channel memory homes, so threads and memory agree).
+  explicit ThreadedExecutor(PlacementPlan plan)
+      : plan_(std::move(plan)), have_plan_(true) {}
+
   ~ThreadedExecutor();
 
   ThreadedExecutor(const ThreadedExecutor&) = delete;
   ThreadedExecutor& operator=(const ThreadedExecutor&) = delete;
 
-  /// Registers a steppable. cpu_hint -1 lets the executor choose
-  /// round-robin; pinning is best-effort.
+  /// Registers a pipeline steppable: it takes the next pipeline position of
+  /// the plan. An explicit cpu_hint >= 0 overrides the plan; pinning is
+  /// always best-effort.
   void Add(Steppable* s, int cpu_hint = -1);
 
+  /// Registers a helper (feeder, collector, ...): it takes the next helper
+  /// ordinal of the plan — leftover cores near the pipeline ends, unpinned
+  /// when none remain (never a pipeline core).
+  void AddHelper(Steppable* s, int cpu_hint = -1);
+
+  /// Launches all threads and returns once every one of them has pinned
+  /// itself and finished OnThreadStart() (the start barrier) — after
+  /// Start() returns, callers may push into consumer-prefaulted channels.
   void Start();
 
   /// Signals all threads to finish their current Step and joins them.
@@ -75,17 +110,28 @@ class ThreadedExecutor {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// The plan threads were placed with (valid after Start()).
+  const PlacementPlan& plan() const { return plan_; }
+
  private:
   struct Entry {
     Steppable* steppable;
     int cpu_hint;
+    bool helper;
+    int ordinal;  ///< pipeline position or helper index
   };
 
-  void ThreadMain(const Entry& entry);
+  void ThreadMain(const Entry& entry, std::size_t thread_count);
 
-  Topology topology_;
+  Topology topology_{Topology::Synthetic(0)};
+  PlacementPolicy policy_ = PlacementPolicy::kAuto;
+  PlacementPlan plan_;
+  bool have_plan_ = false;
+  int positions_ = 0;
+  int helpers_ = 0;
   std::vector<Entry> entries_;
   std::vector<std::thread> threads_;
+  std::atomic<std::size_t> ready_{0};  ///< start-barrier arrival count
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
 };

@@ -1,0 +1,55 @@
+// NUMA memory-policy primitives, libnuma-free. The paper's prototype relies
+// on libnuma to place every channel ring next to its consumer core; we issue
+// the two underlying syscalls (mbind, move_pages) directly so the build has
+// no new dependency and degrades cleanly where they are unavailable:
+//
+//   BindMemoryToNode  — install an MPOL_PREFERRED policy on a page range
+//     BEFORE it is first touched: pages then fault onto the target node no
+//     matter which thread constructs the slots. The strongest rung.
+//   MoveMemoryToNode  — migrate already-committed pages to the target node
+//     (consumer-side repair when the policy rung was unavailable). Operates
+//     on this process's own pages only, which needs no capability.
+//
+// Both return false (and change nothing) on non-Linux hosts, when the
+// syscall is compiled out, or when the target node does not exist — callers
+// fall back to the portable consumer-side first-touch/warming pass (see
+// SpscQueue::PrefaultByConsumer).
+#pragma once
+
+#include <cstddef>
+
+namespace sjoin {
+
+/// Page granularity assumed for channel allocations (allocations are rounded
+/// up so policies always cover whole pages).
+inline constexpr std::size_t kMemPageSize = 4096;
+
+/// Rounds `bytes` up to a whole number of pages (minimum one page).
+inline constexpr std::size_t RoundUpToPage(std::size_t bytes) {
+  const std::size_t pages = (bytes + kMemPageSize - 1) / kMemPageSize;
+  return (pages == 0 ? 1 : pages) * kMemPageSize;
+}
+
+/// Installs a preferred-node policy on [addr, addr+len). `addr` must be
+/// page-aligned and `len` a multiple of the page size. Returns true iff the
+/// kernel accepted the policy (pages subsequently faulted in this range land
+/// on `node` while it has free memory).
+bool BindMemoryToNode(void* addr, std::size_t len, int node);
+
+/// Migrates the committed pages of [addr, addr+len) to `node`. Returns true
+/// iff the call executed and at least one page now resides on `node`.
+/// Untouched pages are left for first-touch.
+bool MoveMemoryToNode(void* addr, std::size_t len, int node);
+
+/// NUMA node the calling thread is currently running on (getcpu), or -1
+/// when unknown. Consumers use this to detect that they ended up somewhere
+/// other than their planned home (e.g. an unpinned polling thread) and
+/// re-home their rings to where the reads actually happen.
+int CurrentNumaNode();
+
+/// True when this build can attempt NUMA placement at all (Linux with the
+/// mbind syscall compiled in). Purely informational; the Bind/Move calls
+/// are always safe to attempt.
+bool MemPolicySupported();
+
+}  // namespace sjoin

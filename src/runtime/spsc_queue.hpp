@@ -10,12 +10,41 @@
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "runtime/cacheline.hpp"
+#include "runtime/mempolicy.hpp"
 
 namespace sjoin {
+
+/// Where a channel ring's slot pages ended up relative to the consumer's
+/// NUMA node (diagnostics; tests assert the placement hook ran).
+enum class ChannelPlacement : uint8_t {
+  kUnplaced = 0,     ///< no home node requested / hook not run yet
+  kBound = 1,        ///< mbind policy installed before first touch
+  kFirstTouched = 2, ///< slot construction deferred to the consumer thread
+  kMigrated = 3,     ///< pages migrated to the home node (move_pages)
+  kPrefaulted = 4,   ///< portable fallback: consumer warming pass only
+};
+
+constexpr const char* ToString(ChannelPlacement p) {
+  switch (p) {
+    case ChannelPlacement::kUnplaced:
+      return "unplaced";
+    case ChannelPlacement::kBound:
+      return "bound";
+    case ChannelPlacement::kFirstTouched:
+      return "first-touched";
+    case ChannelPlacement::kMigrated:
+      return "migrated";
+    case ChannelPlacement::kPrefaulted:
+      return "prefaulted";
+  }
+  return "?";
+}
 
 /// Wait-free bounded SPSC FIFO. T must be copyable (engines use PODs).
 ///
@@ -28,21 +57,130 @@ namespace sjoin {
 /// producer/consumer cache-line transfer) over up to N elements, which is
 /// what makes high-rate message passing between pipeline nodes cheap: the
 /// per-element cost degenerates to a copy into an already-resident slot.
+///
+/// NUMA placement: the consumer reads every slot the producer writes, and
+/// on a loaded link each slot is read soon after it is written — so the
+/// ring's memory home should be the CONSUMER's node (remote write / local
+/// read, the cheaper direction on ccNUMA interconnects, and the discipline
+/// the paper applies via libnuma). Pass the consumer's node as `home_node`
+/// and have the consumer thread call PrefaultByConsumer() before the
+/// producer starts (ThreadedExecutor's start barrier guarantees the
+/// ordering for pipeline threads). The placement ladder:
+///   1. mbind the slot pages before first touch (works no matter which
+///      thread constructs the slots);
+///   2. defer slot construction to the consumer thread entirely (true
+///      first-touch; only for trivially copyable+destructible T);
+///   3. move_pages migration from the consumer thread;
+///   4. portable fallback: a consumer-side warming pass.
 template <typename T>
 class SpscQueue {
+  // Slot construction may be deferred to the consumer thread only for
+  // implicit-lifetime types (aggregates with trivial destruction): for
+  // those, ::operator new already started the slots' lifetimes, so even a
+  // producer that runs before the deferred construction writes into valid
+  // objects — the SPSC protocol guarantees nothing reads a slot that was
+  // not first produced.
+  static constexpr bool kDeferrableInit =
+      std::is_aggregate_v<T> && std::is_trivially_copyable_v<T> &&
+      std::is_trivially_destructible_v<T>;
+
  public:
-  /// Capacity is rounded up to a power of two (minimum 2).
-  explicit SpscQueue(std::size_t capacity) {
+  /// Capacity is rounded up to a power of two (minimum 2). `home_node` >= 0
+  /// requests the slot pages on that NUMA node (see the placement ladder
+  /// above); -1 keeps the historical behaviour (pages land wherever the
+  /// constructing thread runs).
+  explicit SpscQueue(std::size_t capacity, int home_node = -1)
+      : home_node_(home_node) {
     std::size_t cap = 2;
     while (cap < capacity) cap <<= 1;
     mask_ = cap - 1;
-    slots_.resize(cap);
+    bytes_ = RoundUpToPage(cap * sizeof(T));
+    slots_ = static_cast<T*>(
+        ::operator new(bytes_, std::align_val_t{kMemPageSize}));
+    if (home_node_ >= 0 && BindMemoryToNode(slots_, bytes_, home_node_)) {
+      placement_.store(ChannelPlacement::kBound, std::memory_order_relaxed);
+    }
+    if (home_node_ >= 0 && !bound() && kDeferrableInit) {
+      // Rung 2: leave the pages untouched; PrefaultByConsumer constructs
+      // the slots on the consumer thread (true first-touch). Safe only
+      // because every planned-placement queue is drained through an
+      // executor whose start barrier runs the hook before any producer.
+      deferred_init_ = true;
+    } else {
+      ConstructSlots();
+    }
+  }
+
+  ~SpscQueue() {
+    if constexpr (!kDeferrableInit) {
+      for (std::size_t i = 0; i <= mask_; ++i) slots_[i].~T();
+    }
+    ::operator delete(slots_, std::align_val_t{kMemPageSize});
   }
 
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
   std::size_t capacity() const { return mask_ + 1; }
+
+  /// The NUMA node this ring's consumer lives on (-1 = unplaced).
+  int home_node() const { return home_node_; }
+
+  /// How the slot pages were placed (diagnostics; any value other than
+  /// kUnplaced means the placement hook completed).
+  ChannelPlacement placement() const {
+    return placement_.load(std::memory_order_acquire);
+  }
+
+  /// Consumer-side placement hook. MUST be called from the consumer thread
+  /// BEFORE the producer's first push (pipeline threads get this ordering
+  /// from ThreadedExecutor's start barrier; other owners call it right
+  /// after construction). Idempotent.
+  void PrefaultByConsumer() {
+    if (deferred_init_) {
+      deferred_init_ = false;
+      // Construct only while nothing was produced yet (the executor start
+      // barrier guarantees this for pipeline threads); a producer that
+      // somehow got ahead already first-touched the slots it wrote.
+      if (tail_->load(std::memory_order_acquire) == 0) {
+        ConstructSlots();  // true first-touch on the consumer thread
+        placement_.store(ChannelPlacement::kFirstTouched,
+                         std::memory_order_release);
+        return;
+      }
+    }
+    // The planned home is a prediction; the actual consumer is whoever
+    // calls this. When they disagree — an unpinned polling thread, a plan
+    // over a synthetic topology whose node ids do not match the hardware —
+    // re-home the ring to where the reads will really happen. This is what
+    // keeps a session's result rings with its (unpinned) polling thread
+    // instead of stuck on the plan's collector node.
+    if (home_node_ >= 0) {
+      const int here = CurrentNumaNode();
+      if (here >= 0 && here != home_node_ &&
+          MoveMemoryToNode(slots_, bytes_, here)) {
+        home_node_ = here;
+        placement_.store(ChannelPlacement::kMigrated,
+                         std::memory_order_release);
+        return;
+      }
+    }
+    if (bound()) return;  // pages already fault onto the home node
+    if (home_node_ >= 0 && MoveMemoryToNode(slots_, bytes_, home_node_)) {
+      placement_.store(ChannelPlacement::kMigrated, std::memory_order_release);
+      return;
+    }
+    // Portable fallback: walk the pages so they are resident and warm in
+    // this thread's caches/TLB before steady state.
+    const volatile unsigned char* base =
+        reinterpret_cast<const volatile unsigned char*>(slots_);
+    unsigned char sink = 0;
+    for (std::size_t off = 0; off < bytes_; off += kMemPageSize) {
+      sink ^= base[off];
+    }
+    (void)sink;
+    placement_.store(ChannelPlacement::kPrefaulted, std::memory_order_release);
+  }
 
   /// Producer: returns false when full.
   bool TryPush(const T& item) {
@@ -76,8 +214,8 @@ class SpscQueue {
     if (n > free) n = free;
     const std::size_t idx = tail & mask_;
     const std::size_t first = std::min(n, capacity() - idx);
-    std::copy_n(items, first, slots_.begin() + static_cast<std::ptrdiff_t>(idx));
-    std::copy_n(items + first, n - first, slots_.begin());
+    std::copy_n(items, first, slots_ + idx);
+    std::copy_n(items + first, n - first, slots_);
     tail_->store(tail + n, std::memory_order_release);
     return n;
   }
@@ -170,8 +308,22 @@ class SpscQueue {
   bool EmptyApprox() const { return SizeApprox() == 0; }
 
  private:
-  std::vector<T> slots_;
+  bool bound() const {
+    return placement_.load(std::memory_order_relaxed) ==
+           ChannelPlacement::kBound;
+  }
+
+  void ConstructSlots() {
+    for (std::size_t i = 0; i <= mask_; ++i) new (slots_ + i) T();
+  }
+
+  T* slots_ = nullptr;        // page-aligned, bytes_ long (see placement)
+  std::size_t bytes_ = 0;
   std::size_t mask_ = 0;
+  int home_node_ = -1;
+  bool deferred_init_ = false;
+  // Written before the start barrier / read by diagnostics on any thread.
+  std::atomic<ChannelPlacement> placement_{ChannelPlacement::kUnplaced};
 
   // Producer side.
   CachePadded<std::atomic<std::size_t>> tail_{};

@@ -28,6 +28,10 @@
 
 namespace sjoin {
 
+/// Default Prewarm size for node staging buffers — matches the partial-drain
+/// compaction threshold, so a prewarmed stage never reallocates below it.
+inline constexpr std::size_t kStagePrewarm = 256;
+
 template <typename M>
 class StagedChannel {
  public:
@@ -91,6 +95,16 @@ class StagedChannel {
   }
 
   std::size_t staged() const { return stage_.size() - head_; }
+
+  /// Placement hook. The stage is owner-local scratch (only the node that
+  /// pushes through this channel ever touches it); reserving it from the
+  /// owning thread — ThreadedExecutor calls the owner's OnThreadStart after
+  /// pinning — first-touches the backing store on that thread's NUMA node
+  /// instead of wherever the pipeline happened to be constructed, and
+  /// removes the first few growth reallocations from the hot path.
+  void Prewarm(std::size_t slots) {
+    if (stage_.capacity() < slots) stage_.reserve(slots);
+  }
 
  private:
   SpscQueue<M>* queue_;

@@ -77,6 +77,17 @@ class Collector : public Steppable {
 
   bool Step() override { return VacuumOnce() > 0; }
 
+  /// Placement hook: pulls every result ring onto the calling (consumer)
+  /// thread's NUMA node. Runs automatically via OnThreadStart when the
+  /// collector lives on an executor thread; owners that vacuum from their
+  /// own thread (JoinSession, benches) call it once before the pipeline
+  /// starts producing.
+  void PrefaultQueues() {
+    for (auto* queue : queues_) queue->PrefaultByConsumer();
+  }
+
+  void OnThreadStart() override { PrefaultQueues(); }
+
   uint64_t total_collected() const { return total_; }
   uint64_t punctuations_emitted() const { return punctuations_emitted_; }
   Timestamp last_punctuation() const { return last_punctuation_; }

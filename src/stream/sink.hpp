@@ -38,6 +38,10 @@ class StagedQueueSink {
   /// Moves staged results into the queue; called from the node's Step.
   bool Drain() { return channel_.Drain(); }
 
+  /// Placement hook: reserve the stage from the owning node's thread (see
+  /// StagedChannel::Prewarm).
+  void Prewarm(std::size_t slots) { channel_.Prewarm(slots); }
+
   uint64_t emitted() const { return emitted_; }
   std::size_t staged() const { return channel_.staged(); }
 

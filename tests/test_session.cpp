@@ -186,6 +186,71 @@ TEST(SessionValidation, RejectsTimeWindowHsjWithoutHint) {
   EXPECT_NO_THROW(ValidateJoinConfig(config));
 }
 
+TEST(SessionValidation, RejectsOutOfRangePlacement) {
+  JoinConfig config;
+  config.placement = static_cast<PlacementPolicy>(17);  // not a policy
+  try {
+    ValidateJoinConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("placement"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("17"), std::string::npos)
+        << "error must name the offending value: " << e.what();
+  }
+  for (PlacementPolicy ok :
+       {PlacementPolicy::kAuto, PlacementPolicy::kCompact,
+        PlacementPolicy::kScatter, PlacementPolicy::kNone}) {
+    config.placement = ok;
+    EXPECT_NO_THROW(ValidateJoinConfig(config));
+  }
+}
+
+// All four placement policies over an injected synthetic multi-node
+// topology produce the exact per-query oracle result sets: placement moves
+// threads and channel memory, never results. The injected topology also
+// proves the session uses the configured hardware model instead of
+// re-detecting (the config's topology reaches the pipeline's channel
+// construction through the session's cached plan).
+TEST(SessionPlacement, PoliciesProduceIdenticalResultsOnSyntheticTopology) {
+  TraceConfig tc;
+  tc.events = 400;
+  tc.key_domain = 8;
+  auto trace = MakeRandomTrace(191, tc);
+  const WindowSpec wr = WindowSpec::Count(100);
+  const WindowSpec ws = WindowSpec::Count(100);
+  const std::vector<KeyBand> preds = {KeyBand{0}, KeyBand{2}};
+
+  Topology::SyntheticShape shape;
+  shape.nodes_per_package = 2;
+  shape.cores_per_node = 3;
+  auto topo = std::make_shared<const Topology>(Topology::Synthetic(shape));
+
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kAuto, PlacementPolicy::kCompact,
+        PlacementPolicy::kScatter, PlacementPolicy::kNone}) {
+    JoinConfig config =
+        BaseConfig(Algorithm::kLowLatency, wr, ws, /*threaded=*/true);
+    config.placement = policy;
+    config.topology = topo;
+    JoinSession<TR, TS, KeyBand> session(config);
+    std::vector<CollectingHandler<TR, TS>> handlers(preds.size());
+    for (std::size_t q = 0; q < preds.size(); ++q) {
+      session.AddQuery(preds[q], &handlers[q]);
+    }
+    FeedBatched(session, trace, 16);
+    session.FinishInput();
+    session.Stop();
+    EXPECT_EQ(session.pipeline_anomalies(), 0u)
+        << "policy " << ToString(policy);
+
+    for (std::size_t q = 0; q < preds.size(); ++q) {
+      auto expected = OracleFor(trace, wr, ws, preds[q]);
+      EXPECT_TRUE(SameResultSet(expected, handlers[q].results()))
+          << "policy " << ToString(policy) << " query " << q;
+    }
+  }
+}
+
 TEST(SessionValidation, ConstructorValidates) {
   JoinConfig config;
   config.parallelism = 0;
