@@ -31,6 +31,7 @@
 #include "hsj/hsj_pipeline.hpp"
 #include "llhj/llhj_pipeline.hpp"
 #include "runtime/executor.hpp"
+#include "stream/admission.hpp"
 #include "stream/collector.hpp"
 #include "stream/feeder.hpp"
 #include "stream/generator.hpp"
@@ -129,8 +130,17 @@ struct RunStats {
   uint64_t punctuations = 0;
   RunningStat latency_ms;          ///< per-result latency
   TimeSeriesStat latency_series;   ///< 1-second buckets
+  LatencyHistogram latency_hist;   ///< tail percentiles (p50/p95/p99/p99.9)
   std::size_t max_sorter_buffer = 0;
   uint64_t anomalies = 0;
+  // Overload control (DESIGN.md Section 12): ground-truth sheds at ingest
+  // vs. losses reported in-band — equal on a drained run (the
+  // exact-accounting invariant).
+  uint64_t shed_r = 0;
+  uint64_t shed_s = 0;
+  uint64_t lost_reported_r = 0;
+  uint64_t lost_reported_s = 0;
+  uint64_t loss_bounds = 0;
 
   RunStats() : latency_series(1'000'000'000) {}
 
@@ -159,11 +169,21 @@ inline PlacementPlan AutoPlacement(int nodes) {
 template <typename Pipeline>
 RunStats RunPipelineBench(Pipeline& pipeline, const Workload& workload,
                           int batch_size, double duration_s,
-                          bool sort_output = false) {
+                          bool sort_output = false,
+                          AdmissionController* admission = nullptr) {
   auto source = MakeBandSource(workload);
   typename Feeder<RTuple, STuple>::Options feeder_options;
   feeder_options.batch_size = batch_size;
   feeder_options.paced = workload.paced;
+  feeder_options.admission = admission;
+  if (admission != nullptr) {
+    // Whole-pipeline occupancy for the admission projection: without it
+    // the controller only notices saturation once backpressure has
+    // cascaded back through every internal ring.
+    feeder_options.backlog_probe = [&pipeline] {
+      return pipeline.ApproxChannelBacklog();
+    };
+  }
   Feeder<RTuple, STuple> feeder(pipeline.ports(), source.get(),
                                 feeder_options);
 
@@ -172,6 +192,11 @@ RunStats RunPipelineBench(Pipeline& pipeline, const Workload& workload,
   OutputHandler<RTuple, STuple>* tail = &counter;
   if (sort_output) tail = &sorter;
   LatencyRecorder<RTuple, STuple> latency(tail);
+  // Close the admission control loop: every observed result latency feeds
+  // the controller's EWMA (the projection it sheds against).
+  if (admission != nullptr) {
+    latency.ObserveInto(admission);
+  }
   auto collector = pipeline.MakeCollector(&latency);
 
   auto executor =
@@ -197,14 +222,24 @@ RunStats RunPipelineBench(Pipeline& pipeline, const Workload& workload,
     }
   }
   feeder.RequestStop();
-  // Let in-flight messages settle, then stop.
-  const int64_t settle_deadline = NowNs() + 500'000'000;
-  while (!feeder.finished() && NowNs() < settle_deadline) {
-    collector->VacuumOnce();
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
-  }
-  for (int i = 0; i < 50; ++i) {
-    collector->VacuumOnce();
+  // Drain to quiescence before stopping the nodes: the feeder first
+  // flushes its outbox (including any pending loss punctuations), then the
+  // nodes chew through the channel backlog. At heavy overload that backlog
+  // is thousands of expensive probes, so a fixed grace period would cut
+  // the run with messages — and their loss accounting — still in flight.
+  // Quiet = feeder done, channels empty, and a vacuum that found nothing;
+  // require a stretch of consecutive quiet rounds so staged sink residues
+  // (drained by the next node step) are not mistaken for quiescence.
+  const int64_t settle_deadline = NowNs() + 5'000'000'000;
+  int quiet = 0;
+  while (NowNs() < settle_deadline && quiet < 50) {
+    const bool vacuumed = collector->VacuumOnce() > 0;
+    if (!vacuumed && feeder.finished() &&
+        pipeline.ApproxChannelBacklog() == 0) {
+      ++quiet;
+    } else {
+      quiet = 0;
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   const int64_t end = NowNs();
@@ -219,8 +254,16 @@ RunStats RunPipelineBench(Pipeline& pipeline, const Workload& workload,
   stats.punctuations = collector->punctuations_emitted();
   stats.latency_ms = latency.overall();
   stats.latency_series = latency.series();
+  stats.latency_hist = latency.histogram();
   stats.max_sorter_buffer = sorter.max_buffered();
   stats.anomalies = pipeline.total_anomalies();
+  if (admission != nullptr) {
+    stats.shed_r = admission->shed_count(StreamSide::kR);
+    stats.shed_s = admission->shed_count(StreamSide::kS);
+  }
+  stats.lost_reported_r = collector->lost(StreamSide::kR);
+  stats.lost_reported_s = collector->lost(StreamSide::kS);
+  stats.loss_bounds = collector->loss_bounds();
   return stats;
 }
 
@@ -240,15 +283,19 @@ inline RunStats RunHsjBench(int nodes, const Workload& workload,
 }
 
 /// Convenience: builds and runs an LLHJ pipeline on the band workload.
+/// `admission` (optional) wires latency-budget overload control into the
+/// feeder — shed/loss accounting then lands in the returned RunStats.
 inline RunStats RunLlhjBench(int nodes, const Workload& workload, int batch,
                              double duration_s, bool punctuate = false,
-                             bool sort_output = false) {
+                             bool sort_output = false,
+                             AdmissionController* admission = nullptr) {
   typename LlhjPipeline<RTuple, STuple, BandPredicate>::Options options;
   options.nodes = nodes;
   options.punctuate = punctuate || sort_output;
   options.placement = AutoPlacement(nodes);
   LlhjPipeline<RTuple, STuple, BandPredicate> pipeline(options);
-  return RunPipelineBench(pipeline, workload, batch, duration_s, sort_output);
+  return RunPipelineBench(pipeline, workload, batch, duration_s, sort_output,
+                          admission);
 }
 
 /// One flat JSON object, assembled field by field. Values are numbers or
@@ -342,9 +389,23 @@ inline JsonRow& StatsFields(JsonRow& row, const RunStats& stats) {
       .Num("latency_avg_ms", stats.latency_ms.mean())
       .Num("latency_max_ms", stats.latency_ms.max())
       .Num("latency_stddev_ms", stats.latency_ms.stddev())
+      .Num("latency_p50_ms", stats.latency_hist.QuantileMs(0.50))
+      .Num("latency_p95_ms", stats.latency_hist.QuantileMs(0.95))
+      .Num("latency_p99_ms", stats.latency_hist.QuantileMs(0.99))
+      .Num("latency_p999_ms", stats.latency_hist.QuantileMs(0.999))
       .Int("results", static_cast<int64_t>(stats.results))
       .Int("punctuations", static_cast<int64_t>(stats.punctuations))
       .Int("anomalies", static_cast<int64_t>(stats.anomalies));
+  return row;
+}
+
+/// Overload-control fields of a RunStats (sheds vs in-band loss reports).
+inline JsonRow& OverloadFields(JsonRow& row, const RunStats& stats) {
+  row.Int("shed_r", static_cast<int64_t>(stats.shed_r))
+      .Int("shed_s", static_cast<int64_t>(stats.shed_s))
+      .Int("lost_reported_r", static_cast<int64_t>(stats.lost_reported_r))
+      .Int("lost_reported_s", static_cast<int64_t>(stats.lost_reported_s))
+      .Int("loss_bounds", static_cast<int64_t>(stats.loss_bounds));
   return row;
 }
 

@@ -44,6 +44,12 @@ void RunConfig(const char* label, double wr_s, double ws_s, double rate,
               stats.latency_ms.mean(), stats.latency_ms.max(),
               stats.latency_ms.stddev(),
               static_cast<unsigned long long>(stats.results));
+  std::printf("tail:    p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, "
+              "p99.9 %.3f ms\n",
+              stats.latency_hist.QuantileMs(0.50),
+              stats.latency_hist.QuantileMs(0.95),
+              stats.latency_hist.QuantileMs(0.99),
+              stats.latency_hist.QuantileMs(0.999));
   JsonRow row;
   row.Str("config", label)
       .Num("wr_s", wr_s)
@@ -128,6 +134,10 @@ void RunPushApi(bool batched, double window_s, double rate, int nodes,
       .Num("tput_per_stream", tput)
       .Num("latency_avg_ms", latency.overall().mean())
       .Num("latency_max_ms", latency.overall().max())
+      .Num("latency_p50_ms", latency.histogram().QuantileMs(0.50))
+      .Num("latency_p95_ms", latency.histogram().QuantileMs(0.95))
+      .Num("latency_p99_ms", latency.histogram().QuantileMs(0.99))
+      .Num("latency_p999_ms", latency.histogram().QuantileMs(0.999))
       .Int("results", static_cast<int64_t>(session.results_collected()))
       .Int("anomalies", static_cast<int64_t>(session.pipeline_anomalies()));
   json->Emit(row);

@@ -16,6 +16,7 @@
 #   ablation_simd_probe  -> BENCH_ABLATION_SIMD_PROBE.json   (appended)
 #   ablation_query_churn -> BENCH_ABLATION_QUERY_CHURN.json  (appended)
 #   ablation_placement   -> BENCH_ABLATION_PLACEMENT.json    (appended)
+#   ablation_overload    -> BENCH_ABLATION_OVERLOAD.json     (appended)
 #
 # --smoke: CI mode. Runs every tracked bench at short duration, writes the
 # JSON rows to a throwaway directory instead of the repo trajectory files,
@@ -61,6 +62,10 @@ CHURN_INTERVAL="${CHURN_INTERVAL:-32}"
 PLACEMENT_TUPLES="${PLACEMENT_TUPLES:-20000}"
 PLACEMENT_LAT_TUPLES="${PLACEMENT_LAT_TUPLES:-6000}"
 PLACEMENT_RATE="${PLACEMENT_RATE:-3000}"
+OVERLOAD_DURATION="${OVERLOAD_DURATION:-4}"
+OVERLOAD_WINDOW="${OVERLOAD_WINDOW:-8}"
+OVERLOAD_RATE="${OVERLOAD_RATE:-2000}"
+OVERLOAD_BUDGET_MS="${OVERLOAD_BUDGET_MS:-100}"
 
 OUT="$ROOT"
 if [[ "$SMOKE" == "1" ]]; then
@@ -77,6 +82,8 @@ if [[ "$SMOKE" == "1" ]]; then
   PLACEMENT_TUPLES=3000
   PLACEMENT_LAT_TUPLES=600
   PLACEMENT_RATE=20000
+  OVERLOAD_DURATION=0.5
+  OVERLOAD_WINDOW=2
   echo "smoke mode: rows -> $OUT (repo BENCH_*.json untouched)"
 fi
 
@@ -145,6 +152,16 @@ run ablation_placement --tuples="$PLACEMENT_TUPLES" \
   --nodes="$NODES" \
   --json_out="$OUT/BENCH_ABLATION_PLACEMENT.json" "${TAGS[@]}"
 check_rows ablation_placement "$OUT/BENCH_ABLATION_PLACEMENT.json"
+
+# --assert=1: the load-independent invariants (exact loss accounting, zero
+# sheds at sub-saturation load) hold at any duration, so they gate the
+# smoke run too. The saturation-dependent 10x tail assertions need the full
+# duration and run in the dedicated CI leg (--assert_tail).
+run ablation_overload --duration="$OVERLOAD_DURATION" \
+  --window="$OVERLOAD_WINDOW" --base_rate="$OVERLOAD_RATE" \
+  --budget_ms="$OVERLOAD_BUDGET_MS" --assert=1 \
+  --json_out="$OUT/BENCH_ABLATION_OVERLOAD.json" "${TAGS[@]}"
+check_rows ablation_overload "$OUT/BENCH_ABLATION_OVERLOAD.json"
 
 if [[ "$FAILED" == "1" ]]; then
   echo "trajectory smoke FAILED: at least one tracked bench emitted no rows"

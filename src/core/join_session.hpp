@@ -66,6 +66,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/placement.hpp"
 #include "runtime/topology.hpp"
+#include "stream/admission.hpp"
 #include "stream/collector.hpp"
 #include "stream/handlers.hpp"
 #include "stream/message.hpp"
@@ -141,6 +142,16 @@ struct JoinConfig {
   /// mean more relocation, which is always correct; larger ones strand
   /// tuples). Ignored for count windows.
   int64_t hsj_window_tuples_hint = 0;
+
+  /// Overload control (DESIGN.md Section 12). When a latency budget is set
+  /// (> 0, microseconds) together with a shedding policy, tuples whose
+  /// projected end-to-end latency exceeds the budget are shed AT INGEST —
+  /// never mid-window — and every gap is announced in-band to the handlers
+  /// via OutputHandler::OnLoss with exact per-side (first_seq, count)
+  /// bounds. 0 + kNone (the default) disables admission entirely; bounded
+  /// queues then provide lossless backpressure as before.
+  int64_t latency_budget_us = 0;
+  OverloadPolicy overload_policy = OverloadPolicy::kNone;
 };
 
 /// Rejects configurations that would misbehave silently. Throws
@@ -190,6 +201,21 @@ inline void ValidateJoinConfig(const JoinConfig& config) {
         "hsj_window_tuples_hint (> 0), a lower estimate of the live window "
         "in tuples, to size the per-node segments; got " +
         std::to_string(config.hsj_window_tuples_hint));
+  }
+  if (config.latency_budget_us < 0) {
+    throw std::invalid_argument(
+        "JoinConfig: latency_budget_us must be >= 0 (0 disables admission), "
+        "got " +
+        std::to_string(config.latency_budget_us));
+  }
+  if (config.overload_policy != OverloadPolicy::kNone &&
+      config.latency_budget_us == 0) {
+    throw std::invalid_argument(
+        std::string("JoinConfig: overload_policy \"") +
+        ToString(config.overload_policy) +
+        "\" requires a latency budget to shed against; got "
+        "latency_budget_us = 0 (set a positive budget, or use policy "
+        "\"none\")");
   }
 }
 
@@ -261,9 +287,12 @@ class JoinSession {
     EnsureStarted();
     ts = Monotonic(ts);
     EmitTimeExpiries(ts);
+    const Seq seq = r_seq_++;
+    if (ShedAtIngest(StreamSide::kR, seq)) return;  // tracker never sees it
+    EmitPendingLoss(StreamSide::kR);
     DriverEvent<R, S> event;
     event.op = DriverOp::kArriveR;
-    event.seq = r_seq_++;
+    event.seq = seq;
     event.ts = ts;
     event.r = r;
     Dispatch(event);
@@ -275,9 +304,12 @@ class JoinSession {
     EnsureStarted();
     ts = Monotonic(ts);
     EmitTimeExpiries(ts);
+    const Seq seq = s_seq_++;
+    if (ShedAtIngest(StreamSide::kS, seq)) return;
+    EmitPendingLoss(StreamSide::kS);
     DriverEvent<R, S> event;
     event.op = DriverOp::kArriveS;
-    event.seq = s_seq_++;
+    event.seq = seq;
     event.ts = ts;
     event.s = s;
     Dispatch(event);
@@ -310,9 +342,12 @@ class JoinSession {
     for (std::size_t i = 0; i < rs.size(); ++i) {
       const Timestamp ts = Monotonic(tss[i]);
       StageTimeExpiries(ts);
+      const Seq seq = r_seq_++;
+      if (ShedAtIngest(StreamSide::kR, seq)) continue;
+      StagePendingLoss(StreamSide::kR);
       FlowMsg<R> msg;
       msg.kind = MsgKind::kArrival;
-      msg.seq = r_seq_++;
+      msg.seq = seq;
       msg.ts = ts;
       msg.epoch = current_epoch_;
       msg.arrival_wall_ns = NowNs();
@@ -338,9 +373,12 @@ class JoinSession {
     for (std::size_t i = 0; i < ss.size(); ++i) {
       const Timestamp ts = Monotonic(tss[i]);
       StageTimeExpiries(ts);
+      const Seq seq = s_seq_++;
+      if (ShedAtIngest(StreamSide::kS, seq)) continue;
+      StagePendingLoss(StreamSide::kS);
       FlowMsg<S> msg;
       msg.kind = MsgKind::kArrival;
-      msg.seq = s_seq_++;
+      msg.seq = seq;
       msg.ts = ts;
       msg.epoch = current_epoch_;
       msg.arrival_wall_ns = NowNs();
@@ -367,6 +405,10 @@ class JoinSession {
   void FinishInput() {
     if (!started_ || finished_) return;
     finished_ = true;
+    // Close out any still-open loss gaps: there is no next admitted tuple
+    // to carry them, and the accounting must be complete before the drain.
+    EmitPendingLoss(StreamSide::kR);
+    EmitPendingLoss(StreamSide::kS);
     if (hsj_ != nullptr) {
       DriverEvent<R, S> flush_r;
       flush_r.op = DriverOp::kFlushR;
@@ -422,6 +464,23 @@ class JoinSession {
     return n;
   }
 
+  /// Overload-control introspection. `admission()` is mutable so tests can
+  /// install the deterministic force-shed hook before the first Push.
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+
+  /// Ground truth: tuples shed at ingest per side.
+  uint64_t tuples_shed(StreamSide side) const {
+    return admission_.shed_count(side);
+  }
+
+  /// Tuples reported lost to the handlers so far (sum of all delivered
+  /// OnLoss bounds). Equals tuples_shed once the stream has drained — the
+  /// exact-accounting invariant.
+  uint64_t tuples_lost_reported(StreamSide side) const {
+    return router_.lost(side);
+  }
+
  private:
   using Snapshot = QueryEpochSnapshot<Pred>;
 
@@ -450,6 +509,32 @@ class JoinSession {
         tagged.epoch = snap.epoch;
         session->router_.OnResult(tagged);
       });
+    }
+  };
+
+  /// Sits between the collector and the query router so the session can
+  /// observe every result's end-to-end latency (feeding the admission
+  /// EWMA) without the router or the handlers knowing about it.
+  struct ResultObserver : OutputHandler<R, S> {
+    JoinSession* session = nullptr;
+    void OnResult(const ResultMsg<R, S>& m) override {
+      const int64_t now = NowNs();
+      if (m.ready_wall_ns > 0) {
+        session->admission_.ObserveResult(now - m.ready_wall_ns, now);
+      }
+      session->router_.OnResult(m);
+    }
+    void OnPunctuation(Timestamp tp) override {
+      session->router_.OnPunctuation(tp);
+    }
+    void OnLoss(StreamSide side, Seq first_seq, uint64_t count) override {
+      session->router_.OnLoss(side, first_seq, count);
+    }
+    void OnEpochDrained(Epoch epoch) override {
+      session->router_.OnEpochDrained(epoch);
+    }
+    void OnQueryRetired(QueryId query) override {
+      session->router_.OnQueryRetired(query);
     }
   };
 
@@ -490,6 +575,13 @@ class JoinSession {
           "AddQuery before the first Push");
     }
     started_ = true;
+    {
+      AdmissionController::Options adm;
+      adm.budget_ns = config_.latency_budget_us * 1000;
+      adm.policy = config_.overload_policy;
+      admission_.Configure(adm);  // preserves a pre-installed force hook
+    }
+    observer_.session = this;
     QuerySet<Pred> initial = LiveSet();
     std::vector<QueryId> ids = LiveIds();
     router_.BeginEpoch(0, ids, pre_start_removed_);
@@ -531,7 +623,7 @@ class JoinSession {
         hsj_ = std::make_unique<HsjPipeline<R, S, Pred>>(options, initial,
                                                          std::move(ids));
         registry_ = hsj_->registry();
-        collector_ = hsj_->MakeCollector(&router_);
+        collector_ = hsj_->MakeCollector(&observer_);
         SetUpExecutor(hsj_->nodes());
         break;
       }
@@ -547,7 +639,7 @@ class JoinSession {
         llhj_ = std::make_unique<LlhjPipeline<R, S, Pred>>(options, initial,
                                                            std::move(ids));
         registry_ = llhj_->registry();
-        collector_ = llhj_->MakeCollector(&router_);
+        collector_ = llhj_->MakeCollector(&observer_);
         SetUpExecutor(llhj_->nodes());
         break;
       }
@@ -884,6 +976,80 @@ class JoinSession {
     if (collector_ != nullptr) collector_->VacuumOnce();
   }
 
+  // -- Overload control (DESIGN.md Section 12) -------------------------------
+
+  /// Admission decision for one arrival whose seq is already consumed.
+  /// Returns true when the tuple is shed: the caller must then skip BOTH
+  /// the dispatch and the expiry-tracker update — a shed tuple never
+  /// reaches a window store, so no expiry may ever reference it (an expiry
+  /// for an absent tuple would tombstone-leak in LLHJ and stall the
+  /// completion gate forever). The session has no ingest-side holding
+  /// buffer (every admitted push is delivered immediately), so kDropOldest
+  /// has no victim to displace here and degrades to dropping the incoming
+  /// tuple; the Feeder path implements the full victim semantics.
+  bool ShedAtIngest(StreamSide side, Seq seq) {
+    if (!admission_.enabled() && !admission_.has_force_shed()) return false;
+    const int64_t now = NowNs();
+    // The push call IS the arrival (waited = 0); overload pressure shows up
+    // through the latency EWMA and the channel backlog instead.
+    if (!admission_.ShouldShed(side, seq, now, now, ApproxIngestBacklog())) {
+      return false;
+    }
+    admission_.RecordShed(side, seq);
+    return true;
+  }
+
+  /// Delivers recorded loss gaps of `side` at the current stream position:
+  /// in-band on the flow the shed arrivals would have taken (pipelined
+  /// engines), or straight to the router (synchronous baselines, which have
+  /// no in-flight results to order against).
+  void EmitPendingLoss(StreamSide side) {
+    if (!admission_.HasGap(side)) return;
+    LossBound gap;
+    if (Pipelined()) {
+      PipelinePorts<R, S> ports =
+          hsj_ != nullptr ? hsj_->ports() : llhj_->ports();
+      while (admission_.TakeGap(side, &gap)) {
+        if (side == StreamSide::kR) {
+          PushBlocking(ports.left,
+                       MakeLossPunct<R>(side, gap.first_seq, gap.count));
+        } else {
+          PushBlocking(ports.right,
+                       MakeLossPunct<S>(side, gap.first_seq, gap.count));
+        }
+      }
+      return;
+    }
+    while (admission_.TakeGap(side, &gap)) {
+      router_.OnLoss(gap.side, gap.first_seq, gap.count);
+    }
+  }
+
+  /// Batch-path variant: the loss punctuation joins the staged flow at its
+  /// exact position (only ever called on pipelined engines — baselines take
+  /// the scalar loop).
+  void StagePendingLoss(StreamSide side) {
+    if (!admission_.HasGap(side)) return;
+    LossBound gap;
+    while (admission_.TakeGap(side, &gap)) {
+      if (side == StreamSide::kR) {
+        left_stage_.push_back(MakeLossPunct<R>(side, gap.first_seq, gap.count));
+      } else {
+        right_stage_.push_back(
+            MakeLossPunct<S>(side, gap.first_seq, gap.count));
+      }
+    }
+  }
+
+  /// Driver-visible backlog for the admission projection: messages queued
+  /// in the pipeline's channels (result queues excluded — their occupancy
+  /// is the application's polling cadence, not pipeline pressure).
+  std::size_t ApproxIngestBacklog() const {
+    if (hsj_ != nullptr) return hsj_->ApproxChannelBacklog();
+    if (llhj_ != nullptr) return llhj_->ApproxChannelBacklog();
+    return 0;  // baselines are synchronous: nothing queues
+  }
+
   // -- Shared driver helpers -------------------------------------------------
 
   /// Keeps the single-threaded pipeline fully drained between pushes so
@@ -956,6 +1122,8 @@ class JoinSession {
   ExpiryTracker tracker_;
   QueryRouter<R, S> router_;
   FanOutSink fan_out_;
+  AdmissionController admission_;
+  ResultObserver observer_;
 
   // Query lifecycle state: predicates by session-wide id (never reused),
   // the live membership, and the epoch machinery. `registry_` points at

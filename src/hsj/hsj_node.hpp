@@ -275,6 +275,16 @@ class HsjNode : public Steppable {
         ReleaseEpochPuncts();
         return true;
       }
+      case MsgKind::kLossPunctuation: {
+        // Shed-at-ingest loss bound (DESIGN.md Section 12): the shed
+        // tuples never entered the pipeline — no segment holds them and no
+        // expiry will chase them — so unlike kEpochChange there is nothing
+        // to hold the punctuation for. Republish the bound into the result
+        // queue (exactly once: no cascade).
+        sink_->Emit(MakeLossMark<R, S>(msg->ref_side, msg->seq,
+                                       LossPunctCount(*msg), config_.id));
+        return true;
+      }
       default:
         ++counters_.anomalies;
         return true;
@@ -348,6 +358,12 @@ class HsjNode : public Steppable {
         OnEpochPunctuation(/*left_flow=*/false, msg->epoch);
         if (!IsLeftmost()) pending_epoch_s_.push_back(msg->epoch);
         ReleaseEpochPuncts();
+        return true;
+      }
+      case MsgKind::kLossPunctuation: {
+        // See HandleLeft: republish the bound, exactly once, no cascade.
+        sink_->Emit(MakeLossMark<R, S>(msg->ref_side, msg->seq,
+                                       LossPunctCount(*msg), config_.id));
         return true;
       }
       default:

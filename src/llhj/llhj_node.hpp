@@ -297,6 +297,15 @@ class LlhjNode : public Steppable {
         if (!IsRightmost()) right_out_.Push(*msg);
         return true;
       }
+      case MsgKind::kLossPunctuation: {
+        // Shed-at-ingest loss bound (DESIGN.md Section 12): the shed tuples
+        // never entered the pipeline, so nothing here references them —
+        // republish the bound into the result queue at this in-band
+        // position (exactly once: no cascade) and move on.
+        sink_->Emit(MakeLossMark<R, S>(msg->ref_side, msg->seq,
+                                       LossPunctCount(*msg), config_.id));
+        return true;
+      }
       default:
         ++counters_.anomalies;
         return true;
@@ -402,6 +411,12 @@ class LlhjNode : public Steppable {
       case MsgKind::kEpochChange: {
         OnEpochPunctuation(/*left_flow=*/false, msg->epoch);
         if (!IsLeftmost()) left_out_.Push(*msg);
+        return true;
+      }
+      case MsgKind::kLossPunctuation: {
+        // See HandleLeft: republish the bound, exactly once, no cascade.
+        sink_->Emit(MakeLossMark<R, S>(msg->ref_side, msg->seq,
+                                       LossPunctCount(*msg), config_.id));
         return true;
       }
       default:

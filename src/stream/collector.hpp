@@ -57,6 +57,13 @@ class Collector : public Steppable {
         for (std::size_t i = 0; i < n; ++i) {
           if (IsEpochMark(run[i])) {
             OnEpochMark(run[i].epoch);
+          } else if (IsLossMark(run[i])) {
+            // Overload-control loss bound (exactly one per shed gap, from
+            // the pipeline entry node): translate, don't forward.
+            const LossBound bound = DecodeLossMark(run[i]);
+            (bound.side == StreamSide::kR ? lost_r_ : lost_s_) += bound.count;
+            ++loss_bounds_;
+            handler_->OnLoss(bound.side, bound.first_seq, bound.count);
           } else {
             handler_->OnResult(run[i]);
             ++drained;
@@ -90,6 +97,12 @@ class Collector : public Steppable {
 
   uint64_t total_collected() const { return total_; }
   uint64_t punctuations_emitted() const { return punctuations_emitted_; }
+  /// Overload-control accounting: tuples reported lost per side and the
+  /// number of distinct loss bounds translated.
+  uint64_t lost(StreamSide side) const {
+    return side == StreamSide::kR ? lost_r_ : lost_s_;
+  }
+  uint64_t loss_bounds() const { return loss_bounds_; }
   Timestamp last_punctuation() const { return last_punctuation_; }
   /// Highest epoch whose marker arrived from every node (all results of
   /// older epochs have been forwarded to the handler).
@@ -117,6 +130,9 @@ class Collector : public Steppable {
   Timestamp last_punctuation_ = kMinTimestamp;
   uint64_t total_ = 0;
   uint64_t punctuations_emitted_ = 0;
+  uint64_t lost_r_ = 0;
+  uint64_t lost_s_ = 0;
+  uint64_t loss_bounds_ = 0;
   std::vector<std::size_t> epoch_marks_;  // per-epoch marker count
   Epoch drained_epoch_ = 0;
 };

@@ -18,11 +18,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/types.hpp"
+#include "runtime/backoff.hpp"
 #include "runtime/executor.hpp"
+#include "stream/admission.hpp"
 #include "stream/hwm.hpp"
 #include "stream/message.hpp"
 #include "stream/ports.hpp"
@@ -53,6 +57,19 @@ class Feeder : public Steppable {
     /// flow order is preserved. In the paper's regime (windows of seconds,
     /// expeditions of microseconds) the gate never throttles.
     const HighWaterMarks* expiry_gate = nullptr;
+    /// Overload control (DESIGN.md Section 12): when set and enabled,
+    /// arrivals that project past their latency budget are shed HERE, at
+    /// ingest — they consume their sequence number but never reach a
+    /// channel, and expiry events referencing them are suppressed (the
+    /// windows never held them). Every shed run is announced in-band as a
+    /// kLossPunctuation on the flow the arrivals would have taken.
+    AdmissionController* admission = nullptr;
+    /// Optional whole-pipeline backlog probe for the admission projection
+    /// (e.g. Pipeline::ApproxChannelBacklog). Without it the feeder only
+    /// sees the ENTRY channels, and backpressure must cascade backward
+    /// through every internal ring before ingest notices saturation — the
+    /// probe removes that admit-burst lag.
+    std::function<std::size_t()> backlog_probe;
   };
 
   Feeder(PipelinePorts<R, S> ports, WorkloadSource<R, S>* source,
@@ -86,15 +103,17 @@ class Feeder : public Steppable {
 
  private:
   bool StepImpl() {
-    bool progress = false;
-    progress |= PushOutbox(&left_outbox_, ports_.left);
-    progress |= PushOutbox(&right_outbox_, ports_.right);
+    std::size_t delivered = 0;
+    delivered += PushOutbox(&left_outbox_, ports_.left);
+    delivered += PushOutbox(&right_outbox_, ports_.right);
+    bool progress = delivered > 0;
 
     if (stop_requested_.load(std::memory_order_acquire)) {
       FlushPending();
-      progress |= PushOutbox(&left_outbox_, ports_.left);
-      progress |= PushOutbox(&right_outbox_, ports_.right);
-      return progress;
+      delivered += PushOutbox(&left_outbox_, ports_.left);
+      delivered += PushOutbox(&right_outbox_, ports_.right);
+      NoteDelivered(delivered);
+      return progress || delivered > 0;
     }
 
     if (!started_) {
@@ -133,8 +152,25 @@ class Feeder : public Steppable {
       FlushPending();
     }
 
-    progress |= PushOutbox(&left_outbox_, ports_.left);
-    progress |= PushOutbox(&right_outbox_, ports_.right);
+    const std::size_t pushed = PushOutbox(&left_outbox_, ports_.left) +
+                               PushOutbox(&right_outbox_, ports_.right);
+    delivered += pushed;
+    progress |= pushed > 0;
+    NoteDelivered(delivered);
+
+    // Saturation backoff: at the backpressure point the consumer usually
+    // drains a trickle every step, so Step() keeps returning true and the
+    // executor's own idle backoff (which only engages on false) never
+    // fires — the feeder thread pegs a core re-scanning a full outbox. Key
+    // the pause on the state that actually gates production: an outbox
+    // still at/over the bound after the final push means the next step
+    // cannot produce either, so yielding costs no throughput.
+    if (left_outbox_.size() >= options_.max_outbox ||
+        right_outbox_.size() >= options_.max_outbox) {
+      backoff_.Pause();
+    } else {
+      backoff_.Reset();
+    }
     return progress;
   }
 
@@ -153,6 +189,10 @@ class Feeder : public Steppable {
         options_.paced ? start_wall_ns_ + event.ts * 1000 : NowNs();
     switch (event.op) {
       case DriverOp::kArriveR: {
+        if (ShedsArrival(StreamSide::kR, event.seq, wall, &left_pending_)) {
+          break;  // consumed its seq, never reaches a channel
+        }
+        FlushGaps(StreamSide::kR);  // punctuate ahead of the admitted tuple
         FlowMsg<R> msg;
         msg.kind = MsgKind::kArrival;
         msg.seq = event.seq;
@@ -164,6 +204,10 @@ class Feeder : public Steppable {
         break;
       }
       case DriverOp::kArriveS: {
+        if (ShedsArrival(StreamSide::kS, event.seq, wall, &right_pending_)) {
+          break;
+        }
+        FlushGaps(StreamSide::kS);
         FlowMsg<S> msg;
         msg.kind = MsgKind::kArrival;
         msg.seq = event.seq;
@@ -175,6 +219,7 @@ class Feeder : public Steppable {
         break;
       }
       case DriverOp::kExpireR: {
+        if (ExpiryShed(StreamSide::kR, event.seq)) break;  // window never held it
         // R expiries enter at the right end and travel right-to-left.
         FlowMsg<S> msg;
         msg.kind = MsgKind::kExpiry;
@@ -185,6 +230,7 @@ class Feeder : public Steppable {
         break;
       }
       case DriverOp::kExpireS: {
+        if (ExpiryShed(StreamSide::kS, event.seq)) break;
         FlowMsg<R> msg;
         msg.kind = MsgKind::kExpiry;
         msg.ref_side = StreamSide::kS;
@@ -215,8 +261,124 @@ class Feeder : public Steppable {
   }
 
   void FlushPending() {
+    // Close out any still-open loss gaps first: at end of stream (or a
+    // gate-forced flush) there is no "next admitted arrival" to carry them.
+    FlushGaps(StreamSide::kR);
+    FlushGaps(StreamSide::kS);
     if (!left_pending_.empty()) MoveToOutbox(&left_pending_, &left_outbox_);
     if (!right_pending_.empty()) MoveToOutbox(&right_pending_, &right_outbox_);
+  }
+
+  // -- Overload control (DESIGN.md Section 12) -------------------------------
+
+  /// Admission decision for one incoming arrival. Returns true when the
+  /// incoming tuple is shed. Under kDropOldest the victim is the oldest
+  /// same-side arrival still waiting in the pending batch (anything already
+  /// in the outbox/channel is on its way and no longer at ingest) and the
+  /// incoming tuple is admitted in its place; with no waiting victim the
+  /// policy degrades to dropping the incoming tuple.
+  template <typename T>
+  bool ShedsArrival(StreamSide side, Seq seq, int64_t wall,
+                    std::vector<FlowMsg<T>>* pending) {
+    AdmissionController* adm = options_.admission;
+    if (adm == nullptr) return false;
+    if (!adm->ShouldShed(side, seq, NowNs(), wall, IngestBacklog())) {
+      return false;
+    }
+    if (adm->policy() == OverloadPolicy::kDropOldest &&
+        !adm->has_force_shed()) {
+      for (auto it = pending->begin(); it != pending->end(); ++it) {
+        if (it->kind == MsgKind::kArrival) {
+          adm->RecordShed(side, it->seq);
+          NoteShedSeq(side, it->seq);
+          pending->erase(it);
+          (side == StreamSide::kR ? r_pushed_ : s_pushed_)
+              .fetch_sub(1, std::memory_order_relaxed);
+          return false;  // incoming admitted in the victim's place
+        }
+      }
+    }
+    adm->RecordShed(side, seq);
+    NoteShedSeq(side, seq);
+    return true;
+  }
+
+  /// Drains recorded gaps of `side` into in-band loss punctuations on the
+  /// flow the shed arrivals would have taken (R -> left/l2r, S -> right/r2l).
+  void FlushGaps(StreamSide side) {
+    AdmissionController* adm = options_.admission;
+    if (adm == nullptr || !adm->HasGap(side)) return;
+    LossBound gap;
+    while (adm->TakeGap(side, &gap)) {
+      if (side == StreamSide::kR) {
+        left_pending_.push_back(
+            MakeLossPunct<R>(side, gap.first_seq, gap.count));
+      } else {
+        right_pending_.push_back(
+            MakeLossPunct<S>(side, gap.first_seq, gap.count));
+      }
+    }
+  }
+
+  /// Shed seqs per side, coalesced into ranges consumed front-to-back by
+  /// ExpiryShed. Both are seq-monotone per side: sheds because every shed
+  /// seq (victim or incoming) exceeds all earlier sheds of its side, and
+  /// expiries because the windows are FIFO per side.
+  void NoteShedSeq(StreamSide side, Seq seq) {
+    auto& ranges = side == StreamSide::kR ? shed_r_ranges_ : shed_s_ranges_;
+    if (!ranges.empty() && ranges.back().second + 1 == seq) {
+      ranges.back().second = seq;
+    } else {
+      ranges.emplace_back(seq, seq);
+    }
+  }
+
+  /// True when the expiry references a tuple that was shed at ingest: the
+  /// windows never held it, so the expiry must not enter the pipeline
+  /// (an expiry for an absent tuple would tombstone-leak in LLHJ and, worse,
+  /// deadlock the expiry gate, which waits for a completion that can never
+  /// be published).
+  bool ExpiryShed(StreamSide side, Seq seq) {
+    if (options_.admission == nullptr) return false;
+    auto& ranges = side == StreamSide::kR ? shed_r_ranges_ : shed_s_ranges_;
+    while (!ranges.empty() && ranges.front().second < seq) ranges.pop_front();
+    return !ranges.empty() && ranges.front().first <= seq;
+  }
+
+  /// Service-rate sensing for the admission projection: what this feeder
+  /// handed to the channels this step is what the pipeline drained (modulo
+  /// the bounded ring capacity), so it is the honest per-message service
+  /// signal — see AdmissionController::ObserveDelivered.
+  void NoteDelivered(std::size_t delivered) {
+    if (options_.admission != nullptr && delivered > 0) {
+      options_.admission->ObserveDelivered(delivered, NowNs());
+    }
+  }
+
+  /// Driver-visible backlog for the admission projection: batches not yet
+  /// handed to the channels plus the occupancy of the entry channels — the
+  /// latter is the instantaneous saturation signal (a full entry ring means
+  /// the pipeline is behind RIGHT NOW, long before the latency EWMA, which
+  /// trails by one end-to-end delay, can report it). When the high-water
+  /// marks are wired, the arrivals still in flight inside the pipeline are
+  /// folded in too; the measures overlap, so take the max, not the sum.
+  std::size_t IngestBacklog() const {
+    std::size_t n = left_pending_.size() + right_pending_.size() +
+                    left_outbox_.size() + right_outbox_.size();
+    n += options_.backlog_probe
+             ? options_.backlog_probe()
+             : ports_.left->SizeApprox() + ports_.right->SizeApprox();
+    if (options_.expiry_gate != nullptr) {
+      const int64_t in_flight =
+          static_cast<int64_t>(r_pushed_.load(std::memory_order_relaxed) +
+                               s_pushed_.load(std::memory_order_relaxed)) -
+          (options_.expiry_gate->CompletedSeq(StreamSide::kR) + 1) -
+          (options_.expiry_gate->CompletedSeq(StreamSide::kS) + 1);
+      if (in_flight > static_cast<int64_t>(n)) {
+        n = static_cast<std::size_t>(in_flight);
+      }
+    }
+    return n;
   }
 
   /// FIFO delivery buffer consumed from a head cursor; keeping it a
@@ -260,9 +422,10 @@ class Feeder : public Steppable {
                static_cast<int64_t>(front.seq);
   }
 
+  /// Returns the number of messages delivered to the channel.
   template <typename T>
-  bool PushOutbox(Outbox<T>* outbox, SpscQueue<FlowMsg<T>>* q) {
-    bool progress = false;
+  std::size_t PushOutbox(Outbox<T>* outbox, SpscQueue<FlowMsg<T>>* q) {
+    std::size_t delivered = 0;
     while (!outbox->empty()) {
       const FlowMsg<T>* msgs = outbox->buf.data() + outbox->head;
       const std::size_t avail = outbox->size();
@@ -285,11 +448,11 @@ class Feeder : public Steppable {
       if (run == 0) break;  // front expiry still gated
       const std::size_t pushed = q->TryPushBurst(msgs, run);
       outbox->head += pushed;
-      progress |= pushed > 0;
+      delivered += pushed;
       if (pushed < run || run < avail) break;  // channel full or gated
     }
     outbox->Compact();
-    return progress;
+    return delivered;
   }
 
   PipelinePorts<R, S> ports_;
@@ -306,6 +469,10 @@ class Feeder : public Steppable {
   bool exhausted_ = false;
   bool started_ = false;
   int64_t start_wall_ns_ = 0;
+
+  Backoff backoff_;  // saturation backoff (see StepImpl)
+  std::deque<std::pair<Seq, Seq>> shed_r_ranges_;  // [first, last], monotone
+  std::deque<std::pair<Seq, Seq>> shed_s_ranges_;
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> finished_{false};

@@ -11,6 +11,7 @@
 
 #include "common/clock.hpp"
 #include "common/types.hpp"
+#include "stream/admission.hpp"
 #include "stream/message.hpp"
 #include "stream/stats.hpp"
 
@@ -32,6 +33,15 @@ class OutputHandler {
   /// Final punctuation of a removed query: its last result has been
   /// delivered and no further OnResult call will ever carry this query id.
   virtual void OnQueryRetired(QueryId /*query*/) {}
+
+  /// Exact loss bound from overload control (DESIGN.md Section 12): the
+  /// `count` consecutive arrivals of `side` with sequence numbers
+  /// [first_seq, first_seq + count) were shed AT INGEST — they never
+  /// entered a window, so no delivered result references them, and every
+  /// gap in the arrival sequence is covered by exactly one such call.
+  /// Delivered at the bound's in-band stream position. Default no-op.
+  virtual void OnLoss(StreamSide /*side*/, Seq /*first_seq*/,
+                      uint64_t /*count*/) {}
 };
 
 /// Stores everything (tests, examples).
@@ -43,16 +53,29 @@ class CollectingHandler : public OutputHandler<R, S> {
   }
   void OnPunctuation(Timestamp tp) override { punctuations_.push_back(tp); }
   void OnQueryRetired(QueryId query) override { retired_.push_back(query); }
+  void OnLoss(StreamSide side, Seq first_seq, uint64_t count) override {
+    losses_.push_back(LossBound{side, first_seq, count});
+  }
 
   const std::vector<ResultMsg<R, S>>& results() const { return results_; }
   const std::vector<Timestamp>& punctuations() const { return punctuations_; }
   /// Queries whose final (retirement) punctuation has been delivered.
   const std::vector<QueryId>& retired_queries() const { return retired_; }
+  /// Loss bounds in delivery order (overload-control accounting).
+  const std::vector<LossBound>& losses() const { return losses_; }
+  uint64_t lost(StreamSide side) const {
+    uint64_t n = 0;
+    for (const LossBound& b : losses_) {
+      if (b.side == side) n += b.count;
+    }
+    return n;
+  }
 
  private:
   std::vector<ResultMsg<R, S>> results_;
   std::vector<Timestamp> punctuations_;
   std::vector<QueryId> retired_;
+  std::vector<LossBound> losses_;
 };
 
 /// Counts results; the count is safe to read from other threads.
@@ -81,25 +104,45 @@ class LatencyRecorder : public OutputHandler<R, S> {
 
   void OnResult(const ResultMsg<R, S>& result) override {
     const int64_t now = NowNs();
-    const double latency_ms = NsToMs(now - result.ready_wall_ns);
+    const int64_t latency_ns = now - result.ready_wall_ns;
+    const double latency_ms = NsToMs(latency_ns);
     overall_.Add(latency_ms);
     series_.Add(now, latency_ms);
+    histogram_.Add(latency_ns);
+    if (observe_ != nullptr) observe_->ObserveResult(latency_ns, now);
     if (next_ != nullptr) next_->OnResult(result);
   }
 
+  /// Closes the overload-control loop: every observed latency also feeds
+  /// the admission controller's EWMA (the projection it sheds against).
+  void ObserveInto(AdmissionController* admission) { observe_ = admission; }
+
   void OnPunctuation(Timestamp tp) override {
     if (next_ != nullptr) next_->OnPunctuation(tp);
+  }
+  void OnLoss(StreamSide side, Seq first_seq, uint64_t count) override {
+    if (next_ != nullptr) next_->OnLoss(side, first_seq, count);
+  }
+  void OnEpochDrained(Epoch epoch) override {
+    if (next_ != nullptr) next_->OnEpochDrained(epoch);
+  }
+  void OnQueryRetired(QueryId query) override {
+    if (next_ != nullptr) next_->OnQueryRetired(query);
   }
 
   void Anchor(int64_t wall_ns) { series_.Anchor(wall_ns); }
 
   const RunningStat& overall() const { return overall_; }
   const TimeSeriesStat& series() const { return series_; }
+  /// Tail percentiles (p50/p95/p99/p99.9 via QuantileMs).
+  const LatencyHistogram& histogram() const { return histogram_; }
 
  private:
   OutputHandler<R, S>* next_;
   RunningStat overall_;
   TimeSeriesStat series_;
+  LatencyHistogram histogram_;
+  AdmissionController* observe_ = nullptr;
 };
 
 /// Demultiplexes the merged result stream of a multi-query session onto the
@@ -182,6 +225,26 @@ class QueryRouter : public OutputHandler<R, S> {
     }
   }
 
+  /// Loss bounds broadcast like punctuations: a property of the shared
+  /// ingest, not of any one query, delivered exactly once per distinct
+  /// live handler (same per-call dedupe as OnPunctuation). The router also
+  /// keeps per-side totals — the session-level accounting the oracle tests
+  /// check against the admission controller's ground truth.
+  void OnLoss(StreamSide side, Seq first_seq, uint64_t count) override {
+    (side == StreamSide::kR ? lost_r_ : lost_s_) += count;
+    ++loss_bounds_;
+    seen_.clear();
+    for (QueryId q = 0; q < handlers_.size(); ++q) {
+      OutputHandler<R, S>* handler = handlers_[q];
+      if (handler == nullptr || retired_[q] != 0) continue;
+      bool duplicate = false;
+      for (OutputHandler<R, S>* s : seen_) duplicate |= (s == handler);
+      if (duplicate) continue;
+      seen_.push_back(handler);
+      handler->OnLoss(side, first_seq, count);
+    }
+  }
+
   /// Every result of an epoch below `epoch` has been delivered: retire the
   /// queries removed at installs up to and including `epoch` (their last
   /// possible result carries an epoch below their removal boundary).
@@ -201,6 +264,12 @@ class QueryRouter : public OutputHandler<R, S> {
   }
   uint64_t total_collected() const { return total_; }
   uint64_t misrouted() const { return misrouted_; }
+  /// Total tuples reported lost on `side` (sum of broadcast loss bounds).
+  uint64_t lost(StreamSide side) const {
+    return side == StreamSide::kR ? lost_r_ : lost_s_;
+  }
+  /// Number of distinct loss bounds delivered.
+  uint64_t loss_bounds() const { return loss_bounds_; }
   /// Highest epoch known fully drained (all older results delivered).
   Epoch drained_epoch() const { return drained_epoch_; }
   bool retired(QueryId q) const {
@@ -228,6 +297,9 @@ class QueryRouter : public OutputHandler<R, S> {
   Epoch next_retire_ = 0;
   uint64_t total_ = 0;
   uint64_t misrouted_ = 0;
+  uint64_t lost_r_ = 0;
+  uint64_t lost_s_ = 0;
+  uint64_t loss_bounds_ = 0;
 };
 
 /// Fans one stream out to two handlers.
@@ -243,6 +315,10 @@ class TeeHandler : public OutputHandler<R, S> {
   void OnPunctuation(Timestamp tp) override {
     a_->OnPunctuation(tp);
     b_->OnPunctuation(tp);
+  }
+  void OnLoss(StreamSide side, Seq first_seq, uint64_t count) override {
+    a_->OnLoss(side, first_seq, count);
+    b_->OnLoss(side, first_seq, count);
   }
 
  private:

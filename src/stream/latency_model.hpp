@@ -21,4 +21,24 @@ constexpr double HsjEqualTimestampMeetingPoint(double wr, double ws) {
   return (wr + ws) <= 0.0 ? 0.5 : ws / (wr + ws);
 }
 
+/// Admission-control projection (overload control, DESIGN.md Section 12):
+/// the latency a tuple admitted NOW is expected to observe. `waited_ns` is
+/// the time it already spent at ingest (wall now minus its due/arrival
+/// time), `ewma_result_ns` the EWMA of observed end-to-end result latency,
+/// and `backlog_msgs * service_ns_per_msg` the queueing delay implied by
+/// the current channel occupancy at the measured per-message service rate.
+/// The queueing term and the EWMA overlap (the EWMA already contains the
+/// queueing of recent results), so the projection takes their max rather
+/// than their sum — it predicts, it must not double-count; shedding on a
+/// projected violation acts BEFORE the deadline is blown, not after.
+constexpr int64_t ProjectedAdmissionLatencyNs(int64_t waited_ns,
+                                              int64_t ewma_result_ns,
+                                              int64_t backlog_msgs,
+                                              int64_t service_ns_per_msg) {
+  const int64_t queueing = backlog_msgs * service_ns_per_msg;
+  const int64_t pipeline = ewma_result_ns > queueing ? ewma_result_ns
+                                                     : queueing;
+  return (waited_ns > 0 ? waited_ns : 0) + pipeline;
+}
+
 }  // namespace sjoin

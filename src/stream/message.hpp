@@ -30,6 +30,17 @@ enum class MsgKind : uint8_t {
   /// earlier epochs and publishes an epoch marker into its result queue
   /// (retired-epoch draining; see DESIGN.md Section 10).
   kEpochChange = 5,
+  /// Loss punctuation: overload control shed a contiguous run of arrivals
+  /// of stream `ref_side` AT INGEST (the shed tuples never entered the
+  /// pipeline — no store ever held them, no expiry will ever reference
+  /// them). The message rides the same flow the shed arrivals would have
+  /// taken, so the loss bound is delivered in-band at its exact stream
+  /// position. Field reuse (kept POD, no layout change): `seq` is the
+  /// first shed sequence number and `ts` carries the run length
+  /// (see MakeLossPunct / LossPunctCount). The pipeline entry node
+  /// translates it into a result-queue loss marker (kLossMarkQuery) and
+  /// does NOT cascade it — exactly-once accounting per gap.
+  kLossPunctuation = 6,
 };
 
 /// FlowMsg flag bits.
@@ -87,6 +98,36 @@ FlowMsg<T> MakeArrival(const Stamped<T>& t) {
   return msg;
 }
 
+/// Builds the in-band loss punctuation for a shed run of `side` arrivals
+/// beginning at sequence `first_seq`, `count` tuples long. T is the tuple
+/// type of the flow the message rides (R-side losses ride the left flow,
+/// S-side losses the right flow — the direction their arrivals would have
+/// travelled).
+template <typename T>
+FlowMsg<T> MakeLossPunct(StreamSide side, Seq first_seq, uint64_t count) {
+  FlowMsg<T> msg;
+  msg.kind = MsgKind::kLossPunctuation;
+  msg.ref_side = side;
+  msg.seq = first_seq;
+  msg.ts = static_cast<Timestamp>(count);
+  return msg;
+}
+
+/// Run length of a loss punctuation (the documented `ts` field reuse).
+template <typename T>
+constexpr uint64_t LossPunctCount(const FlowMsg<T>& m) {
+  return static_cast<uint64_t>(m.ts);
+}
+
+/// An exact loss bound as delivered to OutputHandler::OnLoss: `count`
+/// consecutive arrivals of `side`, sequence numbers
+/// [first_seq, first_seq + count), were shed at ingest by overload control.
+struct LossBound {
+  StreamSide side = StreamSide::kR;
+  Seq first_seq = 0;
+  uint64_t count = 0;
+};
+
 /// Sentinel QueryId of an epoch marker in a result queue: a node that has
 /// seen the kEpochChange punctuation for epoch E on both of its input flows
 /// emits {query = kEpochMarkQuery, epoch = E} into its result queue. FIFO
@@ -117,6 +158,39 @@ struct ResultMsg {
 template <typename R, typename S>
 constexpr bool IsEpochMark(const ResultMsg<R, S>& m) {
   return m.query == kEpochMarkQuery;
+}
+
+/// Sentinel QueryId of a loss marker in a result queue: the pipeline entry
+/// node that consumes a kLossPunctuation republishes the bound into its
+/// result queue under this id (field reuse: r_seq = first shed seq,
+/// s_seq = run length, ts = shed side as 0/1). FIFO queue order delivers
+/// the bound to the collector at its in-band position; the collector
+/// translates it into OutputHandler::OnLoss instead of forwarding it.
+inline constexpr QueryId kLossMarkQuery = static_cast<QueryId>(-2);
+
+/// True iff `m` is a loss marker, not a join result.
+template <typename R, typename S>
+constexpr bool IsLossMark(const ResultMsg<R, S>& m) {
+  return m.query == kLossMarkQuery;
+}
+
+template <typename R, typename S>
+ResultMsg<R, S> MakeLossMark(StreamSide side, Seq first_seq, uint64_t count,
+                             NodeId origin) {
+  ResultMsg<R, S> mark;
+  mark.query = kLossMarkQuery;
+  mark.r_seq = first_seq;
+  mark.s_seq = count;
+  mark.ts = side == StreamSide::kR ? 0 : 1;
+  mark.origin = origin;
+  return mark;
+}
+
+/// Decodes a kLossMarkQuery result back into the exact bound.
+template <typename R, typename S>
+constexpr LossBound DecodeLossMark(const ResultMsg<R, S>& m) {
+  return LossBound{m.ts == 0 ? StreamSide::kR : StreamSide::kS, m.r_seq,
+                   m.s_seq};
 }
 
 template <typename R, typename S>

@@ -14,13 +14,16 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "runtime/executor.hpp"
+#include "stream/admission.hpp"
 #include "stream/collector.hpp"
 #include "stream/feeder.hpp"
 #include "stream/handlers.hpp"
+#include "stream/hwm.hpp"
 #include "stream/script.hpp"
 #include "stream/source.hpp"
 
@@ -30,20 +33,36 @@ namespace sjoin::test {
 
 struct FuzzResult {
   std::vector<ResultMsg<TR, TS>> results;
+  std::vector<Timestamp> punctuations;
+  std::vector<LossBound> losses;  // delivered OnLoss bounds, in order
   bool quiesced = false;
   uint64_t rounds = 0;
+};
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  double skip_probability = 0.35;
+  int max_consecutive_skips = 3;
+  /// Overload control: wired into the feeder when set; delivered loss
+  /// bounds are captured into FuzzResult::losses.
+  AdmissionController* admission = nullptr;
+  /// LLHJ completion gate for expiries (Feeder::Options::expiry_gate).
+  const HighWaterMarks* expiry_gate = nullptr;
+  /// Invoked after every round — invariant probes (HWM monotonicity, ...).
+  std::function<void()> per_round;
 };
 
 /// Runs `pipeline` over `script` under a seeded adversarial schedule.
 template <typename Pipeline>
 FuzzResult RunFuzzedSchedule(Pipeline& pipeline,
                              const DriverScript<TR, TS>& script,
-                             uint64_t seed, double skip_probability = 0.35,
-                             int max_consecutive_skips = 3) {
+                             const FuzzOptions& fuzz) {
   ScriptSource<TR, TS> source(&script);
   typename Feeder<TR, TS>::Options feeder_options;
   feeder_options.batch_size = 1;
   feeder_options.max_events_per_step = 1;
+  feeder_options.admission = fuzz.admission;
+  feeder_options.expiry_gate = fuzz.expiry_gate;
   Feeder<TR, TS> feeder(pipeline.ports(), &source, feeder_options);
 
   CollectingHandler<TR, TS> handler;
@@ -58,7 +77,7 @@ FuzzResult RunFuzzedSchedule(Pipeline& pipeline,
   std::vector<std::size_t> order(components.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
-  Rng rng(seed);
+  Rng rng(fuzz.seed);
   FuzzResult out;
   constexpr uint64_t kMaxRounds = 1 << 22;
   for (uint64_t round = 0; round < kMaxRounds; ++round) {
@@ -71,14 +90,15 @@ FuzzResult RunFuzzedSchedule(Pipeline& pipeline,
 
     bool progress = false;
     for (std::size_t idx : order) {
-      if (skips[idx] < max_consecutive_skips &&
-          rng.Chance(skip_probability)) {
+      if (skips[idx] < fuzz.max_consecutive_skips &&
+          rng.Chance(fuzz.skip_probability)) {
         ++skips[idx];
         continue;
       }
       skips[idx] = 0;
       progress |= components[idx]->Step();
     }
+    if (fuzz.per_round) fuzz.per_round();
 
     if (!progress) {
       // Confirm quiescence with a clean, skip-free pass.
@@ -95,7 +115,22 @@ FuzzResult RunFuzzedSchedule(Pipeline& pipeline,
   EXPECT_TRUE(out.quiesced) << "schedule did not quiesce";
   EXPECT_TRUE(feeder.finished());
   out.results = handler.results();
+  out.punctuations = handler.punctuations();
+  out.losses = handler.losses();
   return out;
+}
+
+/// Back-compat wrapper: the original positional signature.
+template <typename Pipeline>
+FuzzResult RunFuzzedSchedule(Pipeline& pipeline,
+                             const DriverScript<TR, TS>& script,
+                             uint64_t seed, double skip_probability = 0.35,
+                             int max_consecutive_skips = 3) {
+  FuzzOptions fuzz;
+  fuzz.seed = seed;
+  fuzz.skip_probability = skip_probability;
+  fuzz.max_consecutive_skips = max_consecutive_skips;
+  return RunFuzzedSchedule(pipeline, script, fuzz);
 }
 
 }  // namespace sjoin::test

@@ -186,6 +186,50 @@ TEST(SessionValidation, RejectsTimeWindowHsjWithoutHint) {
   EXPECT_NO_THROW(ValidateJoinConfig(config));
 }
 
+TEST(SessionValidation, RejectsNegativeLatencyBudget) {
+  JoinConfig config;
+  config.latency_budget_us = -250;
+  try {
+    ValidateJoinConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("latency_budget_us"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-250"), std::string::npos)
+        << "error must name the offending value: " << e.what();
+  }
+  config.latency_budget_us = 0;  // "disabled" stays valid
+  EXPECT_NO_THROW(ValidateJoinConfig(config));
+}
+
+TEST(SessionValidation, RejectsSheddingPolicyWithoutBudget) {
+  // A policy with nothing to shed against would silently never shed —
+  // reject the combination and name both knobs.
+  JoinConfig config;
+  config.overload_policy = OverloadPolicy::kDropNewest;
+  config.latency_budget_us = 0;
+  try {
+    ValidateJoinConfig(config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("drop_newest"), std::string::npos)
+        << "error must name the offending policy: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("latency_budget_us"),
+              std::string::npos);
+  }
+  // A budget makes every policy valid; so does dropping the policy.
+  config.latency_budget_us = 1000;
+  for (OverloadPolicy ok :
+       {OverloadPolicy::kNone, OverloadPolicy::kDropNewest,
+        OverloadPolicy::kDropOldest, OverloadPolicy::kSample}) {
+    config.overload_policy = ok;
+    EXPECT_NO_THROW(ValidateJoinConfig(config));
+  }
+  config.latency_budget_us = 0;
+  config.overload_policy = OverloadPolicy::kNone;
+  EXPECT_NO_THROW(ValidateJoinConfig(config));
+}
+
 TEST(SessionValidation, RejectsOutOfRangePlacement) {
   JoinConfig config;
   config.placement = static_cast<PlacementPolicy>(17);  // not a policy

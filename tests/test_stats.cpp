@@ -100,5 +100,50 @@ TEST(TimeSeriesStat, ValuesBeforeAnchorClampToBucketZero) {
   EXPECT_EQ(series.buckets()[0].count(), 1u);
 }
 
+TEST(LatencyHistogram, EmptyQuantilesAreZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.QuantileNs(0.5), 0);
+  EXPECT_EQ(hist.QuantileNs(0.999), 0);
+}
+
+TEST(LatencyHistogram, QuantilesWithinBucketResolution) {
+  // Log-bucketed (32 sub-buckets per octave): any quantile must come back
+  // within the bucket's relative error (< ~3.2%) of the exact value.
+  LatencyHistogram hist;
+  for (int64_t v = 1; v <= 100'000; ++v) hist.Add(v);
+  EXPECT_EQ(hist.count(), 100'000u);
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    const double exact = q * 100'000.0;
+    const double got = static_cast<double>(hist.QuantileNs(q));
+    EXPECT_NEAR(got, exact, exact * 0.04) << "q=" << q;
+  }
+  // Min/max stay inside the recorded range.
+  EXPECT_GE(hist.QuantileNs(0.0), 1);
+  EXPECT_LE(hist.QuantileNs(1.0), 110'000);
+}
+
+TEST(LatencyHistogram, MergeEqualsSequential) {
+  LatencyHistogram a, b, both;
+  for (int64_t v = 1; v <= 3'000; ++v) {
+    (v % 2 == 0 ? a : b).Add(v * 17);
+    both.Add(v * 17);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.QuantileNs(q), both.QuantileNs(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, HandlesZeroAndNegativeAsFloor) {
+  LatencyHistogram hist;
+  hist.Add(0);
+  hist.Add(-123);  // clock skew: clamp, don't crash
+  hist.Add(5);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_GE(hist.QuantileNs(1.0), 5);
+}
+
 }  // namespace
 }  // namespace sjoin
