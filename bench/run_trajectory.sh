@@ -17,11 +17,16 @@
 #   ablation_query_churn -> BENCH_ABLATION_QUERY_CHURN.json  (appended)
 #   ablation_placement   -> BENCH_ABLATION_PLACEMENT.json    (appended)
 #   ablation_overload    -> BENCH_ABLATION_OVERLOAD.json     (appended)
+#   ablation_sharding    -> BENCH_ABLATION_SHARDING.json     (appended)
 #
 # --smoke: CI mode. Runs every tracked bench at short duration, writes the
-# JSON rows to a throwaway directory instead of the repo trajectory files,
-# and FAILS if any bench that was built emits no JSON row — so the BENCH_*
-# automation cannot silently rot. The repo files are never touched.
+# JSON rows to a throwaway directory (override with SMOKE_OUT=dir, e.g. so
+# CI can upload the rows as a failure artifact) instead of the repo
+# trajectory files, and FAILS if any bench that was built emits no JSON row
+# or if a row drifts from the trajectory schema (valid JSON, bench/host/
+# stamp tags, and the latency_p50/p95/p99/p999_ms quantiles on the
+# latency-tracking benches) — so the BENCH_* automation cannot silently
+# rot. The repo files are never touched.
 #
 # Row tags: every appended row carries "host" and "stamp" fields (see
 # JsonEmitter in bench/bench_common.hpp). Override the sizing knobs through
@@ -66,10 +71,14 @@ OVERLOAD_DURATION="${OVERLOAD_DURATION:-4}"
 OVERLOAD_WINDOW="${OVERLOAD_WINDOW:-8}"
 OVERLOAD_RATE="${OVERLOAD_RATE:-2000}"
 OVERLOAD_BUDGET_MS="${OVERLOAD_BUDGET_MS:-100}"
+SHARD_TUPLES="${SHARD_TUPLES:-30000}"
+SHARD_WINDOW="${SHARD_WINDOW:-32768}"
+SHARD_DOMAIN="${SHARD_DOMAIN:-8192}"
 
 OUT="$ROOT"
 if [[ "$SMOKE" == "1" ]]; then
-  OUT="$(mktemp -d)"
+  OUT="${SMOKE_OUT:-$(mktemp -d)}"
+  mkdir -p "$OUT"
   DURATION=1
   FIG17_DURATION=0.5
   FIG17_NODES=1
@@ -84,6 +93,9 @@ if [[ "$SMOKE" == "1" ]]; then
   PLACEMENT_RATE=20000
   OVERLOAD_DURATION=0.5
   OVERLOAD_WINDOW=2
+  SHARD_TUPLES=4000
+  SHARD_WINDOW=4096
+  SHARD_DOMAIN=1024
   echo "smoke mode: rows -> $OUT (repo BENCH_*.json untouched)"
 fi
 
@@ -163,8 +175,66 @@ run ablation_overload --duration="$OVERLOAD_DURATION" \
   --json_out="$OUT/BENCH_ABLATION_OVERLOAD.json" "${TAGS[@]}"
 check_rows ablation_overload "$OUT/BENCH_ABLATION_OVERLOAD.json"
 
+# --assert=1: the shard-count-independence of the result multiset (hash
+# equality across 1/2/4 shards) is load-independent and gates the smoke
+# run too; the bench exits nonzero on any divergence or pipeline anomaly.
+run ablation_sharding --tuples="$SHARD_TUPLES" --window="$SHARD_WINDOW" \
+  --domain="$SHARD_DOMAIN" --assert=1 \
+  --json_out="$OUT/BENCH_ABLATION_SHARDING.json" "${TAGS[@]}"
+check_rows ablation_sharding "$OUT/BENCH_ABLATION_SHARDING.json"
+
+# Schema drift gate (smoke only): every appended row must be valid JSON
+# carrying the bench/host/stamp tags, and the latency-tracking benches must
+# keep their full quantile set — downstream trajectory tooling reads these
+# fields by name. micro_runtime is exempt (google-benchmark owns its
+# format, one JSON document rather than appendable rows).
+if [[ "$SMOKE" == "1" ]] && command -v python3 >/dev/null 2>&1; then
+  if ! python3 - "$OUT" <<'PYEOF'
+import json, pathlib, sys
+
+out = pathlib.Path(sys.argv[1])
+QUANTILES = ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+             "latency_p999_ms")
+NEEDS_QUANTILES = {"fig19_llhj_latency", "ablation_overload",
+                   "ablation_sharding"}
+failed = False
+
+def fail(msg):
+    global failed
+    failed = True
+    print(f"SCHEMA DRIFT: {msg}")
+
+for path in sorted(out.glob("BENCH_*.json")):
+    if path.name == "BENCH_MICRO_RUNTIME.json":
+        continue
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError as e:
+            fail(f"{path.name}:{lineno} not valid JSON ({e})")
+            continue
+        for tag in ("bench", "host", "stamp"):
+            if tag not in row:
+                fail(f"{path.name}:{lineno} missing '{tag}' tag")
+        if row.get("bench") in NEEDS_QUANTILES:
+            for q in QUANTILES:
+                if not isinstance(row.get(q), (int, float)):
+                    fail(f"{path.name}:{lineno} bench '{row.get('bench')}' "
+                         f"missing numeric '{q}'")
+if failed:
+    sys.exit(1)
+print("trajectory schema check passed")
+PYEOF
+  then
+    echo "FAIL: trajectory rows drifted from the BENCH_* schema"
+    FAILED=1
+  fi
+fi
+
 if [[ "$FAILED" == "1" ]]; then
-  echo "trajectory smoke FAILED: at least one tracked bench emitted no rows"
+  echo "trajectory smoke FAILED: missing rows or schema drift"
   exit 1
 fi
 echo "trajectory updated: host=$HOST_TAG stamp=$STAMP out=$OUT"

@@ -284,6 +284,7 @@ class JoinSession {
   // -- Per-tuple ingestion ---------------------------------------------------
 
   void PushR(const R& r, Timestamp ts) {
+    BindDriver(DriverMode::kInternal, "PushR");
     EnsureStarted();
     ts = Monotonic(ts);
     EmitTimeExpiries(ts);
@@ -301,6 +302,7 @@ class JoinSession {
   }
 
   void PushS(const S& s, Timestamp ts) {
+    BindDriver(DriverMode::kInternal, "PushS");
     EnsureStarted();
     ts = Monotonic(ts);
     EmitTimeExpiries(ts);
@@ -333,6 +335,7 @@ class JoinSession {
       throw std::invalid_argument(
           "JoinSession::PushR: tuple and timestamp spans differ in size");
     }
+    BindDriver(DriverMode::kInternal, "PushR");
     EnsureStarted();
     if (!Pipelined()) {  // baseline engines: synchronous, nothing to batch
       for (std::size_t i = 0; i < rs.size(); ++i) PushR(rs[i], tss[i]);
@@ -364,6 +367,7 @@ class JoinSession {
       throw std::invalid_argument(
           "JoinSession::PushS: tuple and timestamp spans differ in size");
     }
+    BindDriver(DriverMode::kInternal, "PushS");
     EnsureStarted();
     if (!Pipelined()) {
       for (std::size_t i = 0; i < ss.size(); ++i) PushS(ss[i], tss[i]);
@@ -389,6 +393,110 @@ class JoinSession {
     FlushStages();
     DrainIfSynchronous();
   }
+
+  // -- External-driver ingestion (sharding) ----------------------------------
+  //
+  // A ShardedJoinSession (core/sharded_session.hpp) owns ONE global driver —
+  // window bookkeeping, sequence numbering, monotonic timestamps, admission —
+  // and feeds N member sessions pre-driven events: arrivals with their
+  // already-assigned global seq, explicit expiries, and in-band loss bounds.
+  // These entry points therefore bypass this session's tracker, seq counters
+  // and admission entirely; they exist for that owner, and mixing them with
+  // the internal PushR/PushS driver on one session is a programming error
+  // (two drivers would double-book windows) — rejected by BindDriver.
+
+  /// Builds the engine without pushing anything: a sharded owner needs all
+  /// member sessions live before the first tuple is partitioned.
+  void Start() { EnsureStarted(); }
+
+  /// Delivers one R arrival carrying an externally assigned sequence number
+  /// and an already-monotonic timestamp.
+  void PushRAt(const R& r, Timestamp ts, Seq seq) {
+    BindDriver(DriverMode::kExternal, "PushRAt");
+    EnsureStarted();
+    DriverEvent<R, S> event;
+    event.op = DriverOp::kArriveR;
+    event.seq = seq;
+    event.ts = ts;
+    event.r = r;
+    Dispatch(event);
+    DrainIfSynchronous();
+  }
+
+  /// Delivers one S arrival (see PushRAt).
+  void PushSAt(const S& s, Timestamp ts, Seq seq) {
+    BindDriver(DriverMode::kExternal, "PushSAt");
+    EnsureStarted();
+    DriverEvent<R, S> event;
+    event.op = DriverOp::kArriveS;
+    event.seq = seq;
+    event.ts = ts;
+    event.s = s;
+    Dispatch(event);
+    DrainIfSynchronous();
+  }
+
+  /// Delivers the window expiry of tuple `seq` of `expired_side`, which must
+  /// have been delivered to THIS session earlier (an expiry for a tuple the
+  /// session never saw would tombstone-leak in LLHJ and stall its
+  /// completion gate).
+  void PushExpiry(StreamSide expired_side, Seq seq, Timestamp ts) {
+    BindDriver(DriverMode::kExternal, "PushExpiry");
+    EnsureStarted();
+    // HSJ has no per-tuple completion notion to gate an expiry on (cf.
+    // WaitTupleCompleted for LLHJ). The internal driver relies on the
+    // bounded-lag regime: a count-window expiry trails its tuple's arrival
+    // by a full window of pushes, far more than the lag budget. An
+    // external (sharding) driver thins each stream and may push the next
+    // arrival right behind the expiry, so two races open up that the lag
+    // budget cannot close: (a) the expiry overtaking its tuple's arrival
+    // mid-channel, and (b) a trailing opposite-side arrival crossing the
+    // victim while the expiry chase is bounced off a concurrent segment
+    // relocation. Close (a) by draining the channels before the expiry
+    // enters (every prior arrival stored), and (b) by letting the pipeline
+    // settle afterwards, so the chase has fully resolved before any later
+    // message enters.
+    const bool hsj_threaded = hsj_ != nullptr && config_.threaded;
+    if (hsj_threaded) {
+      Backoff backoff;
+      while (hsj_->ApproxChannelBacklog() > 0) backoff.Pause();
+    }
+    DriverEvent<R, S> event;
+    event.op = expired_side == StreamSide::kR ? DriverOp::kExpireR
+                                              : DriverOp::kExpireS;
+    event.seq = seq;
+    event.ts = ts;
+    Dispatch(event);
+    if (hsj_threaded) AwaitHsjSettled();
+    DrainIfSynchronous();
+  }
+
+  /// Delivers an externally accounted loss bound at the current stream
+  /// position: in-band on the flow the shed arrivals would have taken
+  /// (pipelined engines), or straight to the router (synchronous
+  /// baselines). The sharded owner injects each gap into exactly one
+  /// member session — exactly-once accounting per gap.
+  void InjectLoss(StreamSide side, Seq first_seq, uint64_t count) {
+    BindDriver(DriverMode::kExternal, "InjectLoss");
+    EnsureStarted();
+    if (Pipelined()) {
+      PipelinePorts<R, S> ports =
+          hsj_ != nullptr ? hsj_->ports() : llhj_->ports();
+      if (side == StreamSide::kR) {
+        PushBlocking(ports.left, MakeLossPunct<R>(side, first_seq, count));
+      } else {
+        PushBlocking(ports.right, MakeLossPunct<S>(side, first_seq, count));
+      }
+      DrainIfSynchronous();
+      return;
+    }
+    router_.OnLoss(side, first_seq, count);
+  }
+
+  /// Driver-visible backlog (messages queued in the pipeline's channels;
+  /// result queues excluded). The sharded owner sums this across member
+  /// sessions to feed its own admission projection.
+  std::size_t ingest_backlog() const { return ApproxIngestBacklog(); }
 
   // -- Output ----------------------------------------------------------------
 
@@ -539,6 +647,26 @@ class JoinSession {
   };
 
   bool Pipelined() const { return hsj_ != nullptr || llhj_ != nullptr; }
+
+  /// Which driver owns this session's windows: the internal one (PushR/
+  /// PushS run tracker, seq counters and admission) or an external sharding
+  /// driver (PushRAt/PushSAt/PushExpiry/InjectLoss deliver pre-driven
+  /// events). The first ingestion call binds the mode; mixing modes would
+  /// double-book the windows and is rejected as a programming error.
+  enum class DriverMode : uint8_t { kUnset, kInternal, kExternal };
+
+  void BindDriver(DriverMode mode, const char* method) {
+    if (driver_mode_ == DriverMode::kUnset) driver_mode_ = mode;
+    if (driver_mode_ != mode) {
+      throw std::logic_error(
+          std::string("JoinSession::") + method +
+          ": cannot mix internal (PushR/PushS) and external (PushRAt/"
+          "PushSAt/PushExpiry/InjectLoss) driver modes on one session; "
+          "this session is already driven " +
+          (driver_mode_ == DriverMode::kInternal ? "internally"
+                                                 : "externally"));
+    }
+  }
 
   std::size_t LiveCount() const {
     std::size_t n = 0;
@@ -1089,6 +1217,27 @@ class JoinSession {
     }
   }
 
+  void AwaitHsjSettled() {
+    // Lightweight settle for externally driven HSJ expiries: the chase is
+    // resolved once the channels are empty and the node progress counters
+    // hold still across a few spaced reads (a node may briefly hold a
+    // forwarded expiry in its out-buffer between consuming and draining,
+    // which a single instantaneous backlog read could miss).
+    uint64_t last_processed = hsj_->TotalProcessed();
+    int stable_rounds = 0;
+    while (stable_rounds < 3) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+      const bool empty = hsj_->ApproxChannelBacklog() == 0;
+      const uint64_t processed = hsj_->TotalProcessed();
+      if (empty && processed == last_processed) {
+        ++stable_rounds;
+      } else {
+        stable_rounds = 0;
+        last_processed = processed;
+      }
+    }
+  }
+
   void WaitQuiescentThreaded() {
     // Distributed quiescence: channel backlog empty, node progress counters
     // stable, and nothing newly collected — several times in a row.
@@ -1140,6 +1289,7 @@ class JoinSession {
   Seq r_seq_ = 0;
   Seq s_seq_ = 0;
   Timestamp last_ts_ = kMinTimestamp;
+  DriverMode driver_mode_ = DriverMode::kUnset;
   bool started_ = false;
   bool finished_ = false;
   std::size_t hsj_lag_budget_ = 1 << 20;

@@ -366,6 +366,14 @@ std::vector<int> Topology::CpusOnNode(int node) const {
   return out;
 }
 
+Topology Topology::OnNode(int node) const {
+  std::vector<TopoCpu> subset;
+  for (const TopoCpu& c : cpus_) {
+    if (c.node == node) subset.push_back(c);
+  }
+  return Topology(std::move(subset));
+}
+
 int Topology::CpuForNode(int node, int total_nodes) const {
   if (cpus_.empty() || node < 0) return -1;
   (void)total_nodes;

@@ -105,6 +105,12 @@ class Topology {
   /// CPUs of one NUMA node, in placement order.
   std::vector<int> CpusOnNode(int node) const;
 
+  /// The sub-topology covering only the CPUs of one NUMA node (possibly
+  /// empty when the node is not part of this topology). Sharded sessions
+  /// build per-shard placement plans from these subsets so every shard's
+  /// pipeline, channels and helper threads stay on its own node.
+  Topology OnNode(int node) const;
+
   /// CPU for pipeline node `node` of a pipeline with `total_nodes` nodes
   /// (helper threads such as feeder and collector are registered after the
   /// nodes and share the same enumeration). The first cpu_count() threads

@@ -136,6 +136,55 @@ TEST(LatencyHistogram, MergeEqualsSequential) {
   }
 }
 
+TEST(LatencyHistogram, MultiWayMergeEqualsConcatenation) {
+  // The sharded merging collector folds one histogram per shard into a
+  // session-wide one; a k-way merge must be exactly the concatenated
+  // single histogram, bucket for bucket, at every quantile.
+  constexpr int kShards = 5;
+  LatencyHistogram shard[kShards];
+  LatencyHistogram all;
+  uint64_t total = 0;
+  for (int64_t v = 1; v <= 4'000; ++v) {
+    const int64_t sample = v * v % 900'001 + 1;  // spread over many octaves
+    shard[v % kShards].Add(sample);
+    all.Add(sample);
+    ++total;
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& h : shard) merged.Merge(h);
+  EXPECT_EQ(merged.count(), total);
+  EXPECT_EQ(merged.count(), all.count());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.QuantileNs(q), all.QuantileNs(q)) << "q=" << q;
+  }
+  // Merge order must not matter (bucket addition commutes).
+  LatencyHistogram reversed;
+  for (int k = kShards - 1; k >= 0; --k) reversed.Merge(shard[k]);
+  for (double q : {0.5, 0.99}) {
+    EXPECT_EQ(reversed.QuantileNs(q), all.QuantileNs(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentityBothDirections) {
+  LatencyHistogram filled, empty;
+  for (int64_t v = 1; v <= 500; ++v) filled.Add(v * 31);
+  const uint64_t count = filled.count();
+  const int64_t p50 = filled.QuantileNs(0.5);
+  const int64_t p999 = filled.QuantileNs(0.999);
+
+  filled.Merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(filled.count(), count);
+  EXPECT_EQ(filled.QuantileNs(0.5), p50);
+  EXPECT_EQ(filled.QuantileNs(0.999), p999);
+
+  LatencyHistogram target;  // merging INTO an empty one copies it
+  target.Merge(filled);
+  EXPECT_EQ(target.count(), count);
+  EXPECT_EQ(target.QuantileNs(0.5), p50);
+  EXPECT_EQ(target.QuantileNs(0.999), p999);
+  EXPECT_EQ(empty.count(), 0u);  // source untouched
+}
+
 TEST(LatencyHistogram, HandlesZeroAndNegativeAsFloor) {
   LatencyHistogram hist;
   hist.Add(0);
