@@ -1,0 +1,171 @@
+// Checked-contracts build mode (DESIGN.md Section 14, tier 3 of the
+// concurrency-contract verification layer). The lock-free tier of the
+// engine — SPSC rings, staged channels, the feeder/driver seq protocol,
+// high-water marks, epoch installation — is correct only under ownership
+// and ordering rules no static analysis can see (single producer thread,
+// single consumer thread, per-side monotone seqs, monotone marks). This
+// header compiles those rules into dynamic assertions when the build sets
+// SJOIN_CONTRACTS=1 (cmake -DSJOIN_CONTRACTS=ON); otherwise every class
+// below is an empty no-op struct and every member is declared
+// [[no_unique_address]], so Release binaries carry zero bytes and zero
+// instructions of contract state.
+//
+// A violation prints the structure, role, and offending thread/value to
+// stderr and aborts — gtest death tests (tests/test_contracts.cpp) match
+// on the "sjoin contract violation" prefix.
+//
+// Thread-role rebinding: benches and sessions legitimately hand a queue
+// end to a different thread across executor generations (the main thread
+// drains result rings after ThreadedExecutor::Stop() has joined the
+// workers). ThreadedExecutor::Start/Stop advance a global contract
+// generation; a role may rebind to a new thread only when the generation
+// has moved since it was last asserted.
+#pragma once
+
+#if defined(SJOIN_CONTRACTS) && SJOIN_CONTRACTS
+#define SJOIN_CONTRACTS_ENABLED 1
+#else
+#define SJOIN_CONTRACTS_ENABLED 0
+#endif
+
+#if SJOIN_CONTRACTS_ENABLED
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+namespace sjoin {
+namespace contracts {
+
+inline std::atomic<std::uint64_t>& GenerationCounter() {
+  static std::atomic<std::uint64_t> gen{1};
+  return gen;
+}
+
+/// Current contract generation. Thread roles bound in an older generation
+/// may rebind; roles bound in the current one are pinned.
+inline std::uint64_t Generation() {
+  return GenerationCounter().load(std::memory_order_acquire);
+}
+
+/// Called by ThreadedExecutor::Start/Stop (and tests) at points where
+/// thread ownership is allowed to change hands.
+inline void AdvanceGeneration() {
+  GenerationCounter().fetch_add(1, std::memory_order_acq_rel);
+}
+
+/// Stable nonzero id for the calling thread.
+inline std::uint64_t SelfId() {
+  const std::uint64_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return h | 1ull;  // never 0 — 0 means "unbound" below
+}
+
+[[noreturn]] inline void Fail(const char* structure, const char* detail) {
+  std::fprintf(stderr, "sjoin contract violation: %s: %s\n", structure,
+               detail);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void FailValue(const char* structure, const char* detail,
+                                   long long prev, long long next) {
+  std::fprintf(stderr,
+               "sjoin contract violation: %s: %s (prev=%lld next=%lld)\n",
+               structure, detail, prev, next);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Pins a role (producer / consumer / driver) to the first thread that
+/// exercises it within a contract generation. Only ever touched by threads
+/// claiming the role, so relaxed atomics suffice for the contract's own
+/// state; a torn rebind race is itself the violation being detected.
+class ThreadRole {
+ public:
+  ThreadRole() = default;
+  // Copying/moving a structure (pipeline wiring, container growth) yields a
+  // fresh unbound role: the copy's owner is whichever thread uses it first.
+  ThreadRole(const ThreadRole&) noexcept : ThreadRole() {}
+  ThreadRole& operator=(const ThreadRole&) noexcept { return *this; }
+
+  void AssertHeld(const char* structure, const char* role) {
+    const std::uint64_t gen = Generation();
+    const std::uint64_t self = SelfId();
+    const std::uint64_t bound_gen = gen_.load(std::memory_order_relaxed);
+    const std::uint64_t owner = owner_.load(std::memory_order_relaxed);
+    if (owner == 0 || bound_gen != gen) {
+      owner_.store(self, std::memory_order_relaxed);
+      gen_.store(gen, std::memory_order_relaxed);
+      return;
+    }
+    if (owner != self) {
+      std::fprintf(stderr,
+                   "sjoin contract violation: %s: role '%s' exercised by a "
+                   "second thread within one executor generation\n",
+                   structure, role);
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+
+  /// Explicit unbind, for structures that are reset/reused in place.
+  void Release() { owner_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> owner_{0};
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+/// Asserts a sequence never regresses (strictly increasing when
+/// `strict`, non-decreasing otherwise). Single-writer by the same
+/// ownership rules the ThreadRole contracts pin down, so plain members.
+class Monotone {
+ public:
+  void AssertAdvance(long long next, const char* structure,
+                     const char* what, bool strict = false) {
+    if (has_ && (strict ? next <= last_ : next < last_)) {
+      FailValue(structure, what, last_, next);
+    }
+    has_ = true;
+    last_ = next;
+  }
+
+  bool has_value() const { return has_; }
+  long long last() const { return last_; }
+  void Reset() { has_ = false; }
+
+ private:
+  long long last_ = 0;
+  bool has_ = false;
+};
+
+}  // namespace contracts
+}  // namespace sjoin
+
+#else  // !SJOIN_CONTRACTS_ENABLED
+
+namespace sjoin {
+namespace contracts {
+
+inline void AdvanceGeneration() {}
+
+struct ThreadRole {
+  void AssertHeld(const char*, const char*) {}
+  void Release() {}
+};
+
+struct Monotone {
+  void AssertAdvance(long long, const char*, const char*, bool = false) {}
+  bool has_value() const { return false; }
+  long long last() const { return 0; }
+  void Reset() {}
+};
+
+}  // namespace contracts
+}  // namespace sjoin
+
+#endif  // SJOIN_CONTRACTS_ENABLED

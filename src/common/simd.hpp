@@ -48,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #define SJOIN_SIMD_X86 1
 #include <immintrin.h>
@@ -97,18 +99,8 @@ namespace simd_internal {
 /// unrecognized warns on stderr and keeps the detected level.
 inline SimdLevel EnvSimdLevel() {
   SimdLevel level = DetectedSimdLevel();
-  const char* force = std::getenv("SJOIN_FORCE_SCALAR");
-  if (force != nullptr && force[0] != '\0') {
-    const std::string v(force);
-    if (v == "1" || v == "true") return SimdLevel::kScalar;
-    if (v != "0" && v != "false") {
-      std::fprintf(stderr,
-                   "sjoin: unrecognized SJOIN_FORCE_SCALAR=\"%s\" "
-                   "(use 1 or 0); ignoring\n",
-                   force);
-    }
-  }
-  const char* named = std::getenv("SJOIN_SIMD_LEVEL");
+  if (env::Flag("SJOIN_FORCE_SCALAR")) return SimdLevel::kScalar;
+  const char* named = env::Raw("SJOIN_SIMD_LEVEL");
   if (named != nullptr && named[0] != '\0') {
     const std::string want(named);
     if (want == "scalar") {
@@ -118,10 +110,9 @@ inline SimdLevel EnvSimdLevel() {
     } else if (want == "avx2") {
       level = std::min(level, SimdLevel::kAvx2);
     } else {
-      std::fprintf(stderr,
-                   "sjoin: unrecognized SJOIN_SIMD_LEVEL=\"%s\" "
-                   "(use scalar|sse2|avx2); keeping %s\n",
-                   named, ToString(level));
+      const std::string keep = std::string("keeping ") + ToString(level);
+      env::WarnUnrecognized("SJOIN_SIMD_LEVEL", named, "use scalar|sse2|avx2",
+                            keep.c_str());
     }
   }
   return level;

@@ -1,0 +1,108 @@
+// Clang thread-safety annotations (DESIGN.md Section 14, tier 1 of the
+// concurrency-contract verification layer). The macros wrap clang's
+// -Wthread-safety attribute set; under any other compiler they expand to
+// nothing, so annotated code builds everywhere while clang builds turn a
+// lock-discipline violation (touching a GUARDED_BY member without holding
+// its mutex, releasing a lock twice, ...) into a compile error.
+//
+// The analysis only sees lock/unlock calls that carry ACQUIRE/RELEASE
+// attributes, which std::mutex and std::lock_guard do not (libstdc++ ships
+// them unannotated). Every mutex in src/ therefore uses the AnnotatedMutex
+// wrapper below together with the MutexLock scoped guard; the lint pass
+// (tools/lint/sjoin_lint.py) rejects raw std::mutex outside this header so
+// the migration cannot silently regress.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SJOIN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SJOIN_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability (lockable resource).
+#define SJOIN_CAPABILITY(x) SJOIN_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SJOIN_SCOPED_CAPABILITY SJOIN_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability.
+#define SJOIN_GUARDED_BY(x) SJOIN_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define SJOIN_PT_GUARDED_BY(x) SJOIN_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).
+#define SJOIN_REQUIRES(...) \
+  SJOIN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function requires shared (reader) access to the capability.
+#define SJOIN_REQUIRES_SHARED(...) \
+  SJOIN_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define SJOIN_ACQUIRE(...) \
+  SJOIN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define SJOIN_RELEASE(...) \
+  SJOIN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define SJOIN_TRY_ACQUIRE(...) \
+  SJOIN_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant guard).
+#define SJOIN_EXCLUDES(...) \
+  SJOIN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define SJOIN_RETURN_CAPABILITY(x) \
+  SJOIN_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed statically.
+/// Each use must carry a comment naming the contract that covers it.
+#define SJOIN_NO_THREAD_SAFETY_ANALYSIS \
+  SJOIN_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace sjoin {
+
+/// std::mutex with the capability attributes the clang analysis needs.
+/// Always lock through MutexLock (below) — a bare lock()/unlock() pair is
+/// legal but loses the scoped-release guarantee.
+class SJOIN_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() SJOIN_ACQUIRE() { mu_.lock(); }
+  void unlock() SJOIN_RELEASE() { mu_.unlock(); }
+  bool try_lock() SJOIN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over an AnnotatedMutex — the std::lock_guard replacement the
+/// analysis can see through.
+class SJOIN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(AnnotatedMutex* mu) SJOIN_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~MutexLock() SJOIN_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  AnnotatedMutex* mu_;
+};
+
+}  // namespace sjoin

@@ -58,6 +58,7 @@
 #include "baseline/cell_join.hpp"
 #include "baseline/kang_join.hpp"
 #include "common/clock.hpp"
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 #include "hsj/hsj_pipeline.hpp"
 #include "llhj/home_policy.hpp"
@@ -413,6 +414,9 @@ class JoinSession {
   /// and an already-monotonic timestamp.
   void PushRAt(const R& r, Timestamp ts, Seq seq) {
     BindDriver(DriverMode::kExternal, "PushRAt");
+    ext_r_arrival_order_.AssertAdvance(static_cast<long long>(seq),
+                                       "JoinSession", "external R arrival seq",
+                                       /*strict=*/true);
     EnsureStarted();
     DriverEvent<R, S> event;
     event.op = DriverOp::kArriveR;
@@ -426,6 +430,9 @@ class JoinSession {
   /// Delivers one S arrival (see PushRAt).
   void PushSAt(const S& s, Timestamp ts, Seq seq) {
     BindDriver(DriverMode::kExternal, "PushSAt");
+    ext_s_arrival_order_.AssertAdvance(static_cast<long long>(seq),
+                                       "JoinSession", "external S arrival seq",
+                                       /*strict=*/true);
     EnsureStarted();
     DriverEvent<R, S> event;
     event.op = DriverOp::kArriveS;
@@ -442,6 +449,10 @@ class JoinSession {
   /// completion gate).
   void PushExpiry(StreamSide expired_side, Seq seq, Timestamp ts) {
     BindDriver(DriverMode::kExternal, "PushExpiry");
+    (expired_side == StreamSide::kR ? ext_r_expiry_order_
+                                    : ext_s_expiry_order_)
+        .AssertAdvance(static_cast<long long>(seq), "JoinSession",
+                       "external expiry seq", /*strict=*/true);
     EnsureStarted();
     // HSJ has no per-tuple completion notion to gate an expiry on (cf.
     // WaitTupleCompleted for LLHJ). The internal driver relies on the
@@ -656,6 +667,7 @@ class JoinSession {
   enum class DriverMode : uint8_t { kUnset, kInternal, kExternal };
 
   void BindDriver(DriverMode mode, const char* method) {
+    driver_role_.AssertHeld("JoinSession", "driver");
     if (driver_mode_ == DriverMode::kUnset) driver_mode_ = mode;
     if (driver_mode_ != mode) {
       throw std::logic_error(
@@ -1290,6 +1302,16 @@ class JoinSession {
   Seq s_seq_ = 0;
   Timestamp last_ts_ = kMinTimestamp;
   DriverMode driver_mode_ = DriverMode::kUnset;
+  // Checked-contracts state (DESIGN.md Section 14): every ingestion entry
+  // point must come from the one driver thread of this session (within an
+  // executor generation), and an external driver must deliver per-side
+  // arrival/expiry seqs in strictly advancing order — the same protocol
+  // the internal driver gets for free from its own seq counters.
+  [[no_unique_address]] contracts::ThreadRole driver_role_;
+  [[no_unique_address]] contracts::Monotone ext_r_arrival_order_;
+  [[no_unique_address]] contracts::Monotone ext_s_arrival_order_;
+  [[no_unique_address]] contracts::Monotone ext_r_expiry_order_;
+  [[no_unique_address]] contracts::Monotone ext_s_expiry_order_;
   bool started_ = false;
   bool finished_ = false;
   std::size_t hsj_lag_budget_ = 1 << 20;

@@ -285,10 +285,17 @@ class HsjNode : public Steppable {
                                        LossPunctCount(*msg), config_.id));
         return true;
       }
-      default:
+      // No default: the switch is deliberately exhaustive so adding a
+      // MsgKind fails -Wswitch (enforced by tools/lint/sjoin_lint.py) —
+      // kinds a control handler must never see are anomalies, not silently
+      // swallowed.
+      case MsgKind::kArrival:
+      case MsgKind::kExpeditionEnd:
         ++counters_.anomalies;
         return true;
     }
+    ++counters_.anomalies;  // out-of-range kind (corrupted message)
+    return true;
   }
 
   // -- Right input: S arrivals/relocations, expiries, S flushes. ------------
@@ -366,10 +373,15 @@ class HsjNode : public Steppable {
                                        LossPunctCount(*msg), config_.id));
         return true;
       }
-      default:
+      // No default (see HandleLeft): exhaustive so -Wswitch flags new kinds.
+      case MsgKind::kArrival:
+      case MsgKind::kAck:
+      case MsgKind::kExpeditionEnd:
         ++counters_.anomalies;
         return true;
     }
+    ++counters_.anomalies;  // out-of-range kind (corrupted message)
+    return true;
   }
 
   // -- Matching --------------------------------------------------------------

@@ -306,10 +306,17 @@ class LlhjNode : public Steppable {
                                        LossPunctCount(*msg), config_.id));
         return true;
       }
-      default:
+      // No default: the switch is deliberately exhaustive so adding a
+      // MsgKind fails -Wswitch (enforced by tools/lint/sjoin_lint.py) —
+      // kinds a control handler must never see are anomalies, not silently
+      // swallowed.
+      case MsgKind::kArrival:
+      case MsgKind::kExpeditionEnd:
         ++counters_.anomalies;
         return true;
     }
+    ++counters_.anomalies;  // out-of-range kind (corrupted message)
+    return true;
   }
 
   // -- Right input (Figure 14): S arrivals, expedition-ends, expiries of R. --
@@ -419,10 +426,14 @@ class LlhjNode : public Steppable {
                                        LossPunctCount(*msg), config_.id));
         return true;
       }
-      default:
+      // No default (see HandleLeft): exhaustive so -Wswitch flags new kinds.
+      case MsgKind::kArrival:
+      case MsgKind::kAck:
         ++counters_.anomalies;
         return true;
     }
+    ++counters_.anomalies;  // out-of-range kind (corrupted message)
+    return true;
   }
 
   // -- Matching ----------------------------------------------------------------

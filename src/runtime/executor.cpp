@@ -1,5 +1,6 @@
 #include "runtime/executor.hpp"
 
+#include "common/contracts.hpp"
 #include "runtime/affinity.hpp"
 
 namespace sjoin {
@@ -29,6 +30,11 @@ void ThreadedExecutor::AddHelper(Steppable* s, int cpu_hint) {
 
 void ThreadedExecutor::Start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  // Thread ownership changes hands here (checked-contracts builds):
+  // whatever thread drove the steppables before — a main thread warming
+  // channels, a previous generation's workers — gives way to the threads
+  // spawned below, so SPSC/channel roles may rebind once.
+  contracts::AdvanceGeneration();
   stop_.store(false, std::memory_order_release);
   ready_.store(0, std::memory_order_release);
   if (!have_plan_) {
@@ -63,6 +69,9 @@ void ThreadedExecutor::Stop() {
   }
   threads_.clear();
   running_.store(false, std::memory_order_release);
+  // All workers are joined: the caller (e.g. a bench draining leftover
+  // result rings on the main thread) becomes a legitimate new owner.
+  contracts::AdvanceGeneration();
 }
 
 void ThreadedExecutor::ThreadMain(const Entry& entry,

@@ -1,5 +1,7 @@
 #include "runtime/mempolicy.hpp"
 
+#include <new>
+
 #if defined(__linux__)
 #include <sys/syscall.h>
 #include <unistd.h>
@@ -9,6 +11,15 @@
 #endif
 
 namespace sjoin {
+
+void* AllocatePages(std::size_t bytes) {
+  return ::operator new(bytes, std::align_val_t{kMemPageSize});
+}
+
+void FreePages(void* addr, std::size_t bytes) {
+  (void)bytes;
+  ::operator delete(addr, std::align_val_t{kMemPageSize});
+}
 
 #if defined(__linux__) && defined(SYS_mbind)
 

@@ -30,6 +30,18 @@ inline constexpr std::size_t RoundUpToPage(std::size_t bytes) {
   return (pages == 0 ? 1 : pages) * kMemPageSize;
 }
 
+/// Page-aligned raw allocation for channel rings and window slabs; `bytes`
+/// must already be page-rounded (RoundUpToPage). Slot lifetimes are started
+/// by the caller (placement-new); the returned storage is uninitialized.
+/// These two are the only raw ::operator new/delete call sites in src/ —
+/// the lint pass (tools/lint/sjoin_lint.py) rejects raw new/delete
+/// expressions everywhere outside mempolicy.cpp, so every page-granular
+/// allocation flows through here where the NUMA policy calls can see it.
+void* AllocatePages(std::size_t bytes);
+
+/// Releases an AllocatePages allocation. `bytes` must match the request.
+void FreePages(void* addr, std::size_t bytes);
+
 /// Installs a preferred-node policy on [addr, addr+len). `addr` must be
 /// page-aligned and `len` a multiple of the page size. Returns true iff the
 /// kernel accepted the policy (pages subsequently faulted in this range land

@@ -15,6 +15,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/mempolicy.hpp"
 
@@ -95,8 +96,7 @@ class SpscQueue {
     while (cap < capacity) cap <<= 1;
     mask_ = cap - 1;
     bytes_ = RoundUpToPage(cap * sizeof(T));
-    slots_ = static_cast<T*>(
-        ::operator new(bytes_, std::align_val_t{kMemPageSize}));
+    slots_ = static_cast<T*>(AllocatePages(bytes_));
     if (home_node_ >= 0 && BindMemoryToNode(slots_, bytes_, home_node_)) {
       placement_.store(ChannelPlacement::kBound, std::memory_order_relaxed);
     }
@@ -115,7 +115,7 @@ class SpscQueue {
     if constexpr (!kDeferrableInit) {
       for (std::size_t i = 0; i <= mask_; ++i) slots_[i].~T();
     }
-    ::operator delete(slots_, std::align_val_t{kMemPageSize});
+    FreePages(slots_, bytes_);
   }
 
   SpscQueue(const SpscQueue&) = delete;
@@ -184,6 +184,7 @@ class SpscQueue {
 
   /// Producer: returns false when full.
   bool TryPush(const T& item) {
+    producer_role_.AssertHeld("SpscQueue", "producer");
     const std::size_t tail = tail_->load(std::memory_order_relaxed);
     if (tail - cached_head_ > mask_) {
       cached_head_ = head_->load(std::memory_order_acquire);
@@ -204,6 +205,7 @@ class SpscQueue {
   /// Producer: raw-pointer variant of PushBurst.
   std::size_t TryPushBurst(const T* items, std::size_t n) {
     if (n == 0) return 0;
+    producer_role_.AssertHeld("SpscQueue", "producer");
     const std::size_t tail = tail_->load(std::memory_order_relaxed);
     std::size_t free = capacity() - (tail - cached_head_);
     if (free < n) {
@@ -230,6 +232,7 @@ class SpscQueue {
   /// Consumer: pointer to front element or nullptr when empty. The pointer
   /// stays valid until PopFront().
   T* Front() {
+    consumer_role_.AssertHeld("SpscQueue", "consumer");
     const std::size_t head = head_->load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_->load(std::memory_order_acquire);
@@ -240,6 +243,7 @@ class SpscQueue {
 
   /// Consumer: drops the front element. Requires a prior non-null Front().
   void PopFront() {
+    consumer_role_.AssertHeld("SpscQueue", "consumer");
     const std::size_t head = head_->load(std::memory_order_relaxed);
     assert(head != tail_->load(std::memory_order_acquire) && "pop on empty");
     head_->store(head + 1, std::memory_order_release);
@@ -251,6 +255,7 @@ class SpscQueue {
   /// ConsumeBurst/PopFront. A wrapped queue surfaces the remainder on the
   /// next call after the first run is consumed.
   std::size_t PeekBurst(T** first) {
+    consumer_role_.AssertHeld("SpscQueue", "consumer");
     const std::size_t head = head_->load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_->load(std::memory_order_acquire);
@@ -266,6 +271,7 @@ class SpscQueue {
   /// `n` must not exceed the run returned by a prior PeekBurst.
   void ConsumeBurst(std::size_t n) {
     if (n == 0) return;
+    consumer_role_.AssertHeld("SpscQueue", "consumer");
     const std::size_t head = head_->load(std::memory_order_relaxed);
     assert(n <= tail_->load(std::memory_order_acquire) - head &&
            "consume past tail");
@@ -332,6 +338,12 @@ class SpscQueue {
   // Consumer side.
   CachePadded<std::atomic<std::size_t>> head_{};
   std::size_t cached_tail_ = 0;  // consumer's cache of tail_
+
+  // Checked-contracts state (DESIGN.md Section 14): each end of the ring is
+  // pinned to the first thread that uses it within an executor generation.
+  // Empty no-op structs — zero bytes, zero code — unless SJOIN_CONTRACTS=ON.
+  [[no_unique_address]] contracts::ThreadRole producer_role_;
+  [[no_unique_address]] contracts::ThreadRole consumer_role_;
 };
 
 /// Consumer-side burst driver shared by the pipeline nodes: feeds up to

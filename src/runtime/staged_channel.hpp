@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "runtime/spsc_queue.hpp"
 
 namespace sjoin {
@@ -61,6 +62,7 @@ class StagedChannel {
   /// Enqueues, staging locally when the channel is full. Order-preserving.
   void Push(const M& msg) {
     if (queue_ == nullptr) return;  // pipeline end: discard
+    owner_role_.AssertHeld("StagedChannel", "owner");
     if (staged() == 0 && queue_->TryPush(msg)) return;
     stage_.push_back(msg);
   }
@@ -68,6 +70,7 @@ class StagedChannel {
   /// Enqueues a burst, staging whatever does not fit. Order-preserving.
   void PushBurst(std::span<const M> msgs) {
     if (queue_ == nullptr || msgs.empty()) return;
+    owner_role_.AssertHeld("StagedChannel", "owner");
     std::size_t pushed = 0;
     if (staged() == 0) pushed = queue_->PushBurst(msgs);
     stage_.insert(stage_.end(), msgs.begin() + static_cast<std::ptrdiff_t>(pushed),
@@ -78,6 +81,7 @@ class StagedChannel {
   /// progress.
   bool Drain() {
     if (queue_ == nullptr || staged() == 0) return false;
+    owner_role_.AssertHeld("StagedChannel", "owner");
     const std::size_t pushed =
         queue_->TryPushBurst(stage_.data() + head_, stage_.size() - head_);
     head_ += pushed;
@@ -110,6 +114,10 @@ class StagedChannel {
   SpscQueue<M>* queue_;
   std::vector<M> stage_;
   std::size_t head_ = 0;  ///< first unsent element of stage_
+  // Checked-contracts state (DESIGN.md Section 14): the stage is
+  // owner-local scratch, so every mutating call must come from the one
+  // thread owning this node within an executor generation.
+  [[no_unique_address]] contracts::ThreadRole owner_role_;
 };
 
 }  // namespace sjoin

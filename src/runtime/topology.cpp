@@ -1,5 +1,7 @@
 #include "runtime/topology.hpp"
 
+#include "common/env.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -270,17 +272,16 @@ Topology Topology::Detect() {
   // Env override first (synthetic shapes for CI legs on single-socket
   // runners). Unrecognized values warn and fall through to real detection —
   // a leg that believes it forced a shape must not silently run flat.
-  const char* spec = std::getenv("SJOIN_TOPOLOGY");
+  const char* spec = env::Raw("SJOIN_TOPOLOGY");
   if (spec != nullptr && spec[0] != '\0') {
     const std::string v(spec);
     SyntheticShape shape;
     if (v != "detect" && ParseShapeSpec(v, &shape)) return Synthetic(shape);
     if (v != "detect") {
-      std::fprintf(stderr,
-                   "sjoin: unrecognized SJOIN_TOPOLOGY=\"%s\" (want e.g. "
-                   "\"16\", \"2x8\", \"2x8x2\", \"2x2x4x2\", or \"detect\"); "
-                   "using detected topology\n",
-                   spec);
+      env::WarnUnrecognized("SJOIN_TOPOLOGY", spec,
+                            "want e.g. \"16\", \"2x8\", \"2x8x2\", "
+                            "\"2x2x4x2\", or \"detect\"",
+                            "using detected topology");
     }
   }
 

@@ -18,11 +18,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/contracts.hpp"
+#include "common/vec_deque.hpp"
 #include "common/types.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/executor.hpp"
@@ -189,6 +190,9 @@ class Feeder : public Steppable {
         options_.paced ? start_wall_ns_ + event.ts * 1000 : NowNs();
     switch (event.op) {
       case DriverOp::kArriveR: {
+        r_arrival_order_.AssertAdvance(static_cast<long long>(event.seq),
+                                       "Feeder", "R arrival seq",
+                                       /*strict=*/true);
         if (ShedsArrival(StreamSide::kR, event.seq, wall, &left_pending_)) {
           break;  // consumed its seq, never reaches a channel
         }
@@ -204,6 +208,9 @@ class Feeder : public Steppable {
         break;
       }
       case DriverOp::kArriveS: {
+        s_arrival_order_.AssertAdvance(static_cast<long long>(event.seq),
+                                       "Feeder", "S arrival seq",
+                                       /*strict=*/true);
         if (ShedsArrival(StreamSide::kS, event.seq, wall, &right_pending_)) {
           break;
         }
@@ -219,6 +226,9 @@ class Feeder : public Steppable {
         break;
       }
       case DriverOp::kExpireR: {
+        r_expiry_order_.AssertAdvance(static_cast<long long>(event.seq),
+                                      "Feeder", "R expiry seq",
+                                      /*strict=*/true);
         if (ExpiryShed(StreamSide::kR, event.seq)) break;  // window never held it
         // R expiries enter at the right end and travel right-to-left.
         FlowMsg<S> msg;
@@ -230,6 +240,9 @@ class Feeder : public Steppable {
         break;
       }
       case DriverOp::kExpireS: {
+        s_expiry_order_.AssertAdvance(static_cast<long long>(event.seq),
+                                      "Feeder", "S expiry seq",
+                                      /*strict=*/true);
         if (ExpiryShed(StreamSide::kS, event.seq)) break;
         FlowMsg<R> msg;
         msg.kind = MsgKind::kExpiry;
@@ -326,6 +339,12 @@ class Feeder : public Steppable {
   /// expiries because the windows are FIFO per side.
   void NoteShedSeq(StreamSide side, Seq seq) {
     auto& ranges = side == StreamSide::kR ? shed_r_ranges_ : shed_s_ranges_;
+    // Contract: sheds are recorded in strictly advancing seq order — an
+    // out-of-order shed would corrupt the coalesced ranges and let its
+    // expiry slip past ExpiryShed into windows that never held the tuple.
+    (side == StreamSide::kR ? r_shed_order_ : s_shed_order_)
+        .AssertAdvance(static_cast<long long>(seq), "Feeder", "shed seq",
+                       /*strict=*/true);
     if (!ranges.empty() && ranges.back().second + 1 == seq) {
       ranges.back().second = seq;
     } else {
@@ -471,8 +490,20 @@ class Feeder : public Steppable {
   int64_t start_wall_ns_ = 0;
 
   Backoff backoff_;  // saturation backoff (see StepImpl)
-  std::deque<std::pair<Seq, Seq>> shed_r_ranges_;  // [first, last], monotone
-  std::deque<std::pair<Seq, Seq>> shed_s_ranges_;
+  VecDeque<std::pair<Seq, Seq>> shed_r_ranges_;  // [first, last], monotone
+  VecDeque<std::pair<Seq, Seq>> shed_s_ranges_;
+
+  // Checked-contracts state (DESIGN.md Section 14): per-side driver-order
+  // protocol — arrival and expiry seqs strictly advance, and shed ranges
+  // are recorded in strictly advancing order, which together make the
+  // shed-range consumption in ExpiryShed sound (front-to-back popping
+  // never discards a range a later expiry still needs).
+  [[no_unique_address]] contracts::Monotone r_arrival_order_;
+  [[no_unique_address]] contracts::Monotone s_arrival_order_;
+  [[no_unique_address]] contracts::Monotone r_expiry_order_;
+  [[no_unique_address]] contracts::Monotone s_expiry_order_;
+  [[no_unique_address]] contracts::Monotone r_shed_order_;
+  [[no_unique_address]] contracts::Monotone s_shed_order_;
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> finished_{false};

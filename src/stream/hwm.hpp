@@ -8,6 +8,7 @@
 
 #include <atomic>
 
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 #include "runtime/cacheline.hpp"
 
@@ -21,6 +22,20 @@ class HighWaterMarks {
   void Publish(StreamSide side, Timestamp ts, Seq seq) {
     auto& mark = side == StreamSide::kR ? r_ : s_;
     auto& done = side == StreamSide::kR ? r_seq_ : s_seq_;
+    // Contract (DESIGN.md Section 14): tuples finish in FIFO order per
+    // side, so a regressing mark or completed-seq means an end node
+    // published out of order — downstream punctuations would go unsafe.
+    if (side == StreamSide::kR) {
+      r_ts_order_.AssertAdvance(ts, "HighWaterMarks", "R mark");
+      r_seq_order_.AssertAdvance(static_cast<long long>(seq),
+                                 "HighWaterMarks", "R completed seq",
+                                 /*strict=*/true);
+    } else {
+      s_ts_order_.AssertAdvance(ts, "HighWaterMarks", "S mark");
+      s_seq_order_.AssertAdvance(static_cast<long long>(seq),
+                                 "HighWaterMarks", "S completed seq",
+                                 /*strict=*/true);
+    }
     mark->store(ts, std::memory_order_release);
     done->store(static_cast<int64_t>(seq), std::memory_order_release);
   }
@@ -52,6 +67,13 @@ class HighWaterMarks {
   CachePadded<std::atomic<Timestamp>> s_{{kMinTimestamp}};
   CachePadded<std::atomic<int64_t>> r_seq_{{-1}};
   CachePadded<std::atomic<int64_t>> s_seq_{{-1}};
+  // Checked-contracts state: per-side publish order (each side has a single
+  // publishing end node, so plain members are safe under the contract the
+  // SpscQueue roles already pin down).
+  [[no_unique_address]] contracts::Monotone r_ts_order_;
+  [[no_unique_address]] contracts::Monotone s_ts_order_;
+  [[no_unique_address]] contracts::Monotone r_seq_order_;
+  [[no_unique_address]] contracts::Monotone s_seq_order_;
 };
 
 }  // namespace sjoin

@@ -22,12 +22,13 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/simd.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace sjoin {
@@ -188,8 +189,14 @@ class QueryEpochRegistry {
     }
     snap->set = std::move(set);
     snap->global_ids = std::move(global_ids);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snap->epoch = static_cast<Epoch>(epochs_.size());
+    // Contract (DESIGN.md Section 14): installed epochs advance strictly —
+    // a regressing or repeated epoch number would let stale snapshots
+    // shadow live ones at the nodes' MRU caches.
+    install_order_.AssertAdvance(static_cast<long long>(snap->epoch),
+                                 "QueryEpochRegistry", "installed epoch",
+                                 /*strict=*/true);
     epochs_.push_back(snap);
     return snap->epoch;
   }
@@ -197,24 +204,25 @@ class QueryEpochRegistry {
   /// Snapshot of epoch `e`, or null when `e` was never installed (a
   /// protocol bug — callers treat it as an anomaly).
   std::shared_ptr<const Snapshot> Get(Epoch e) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (e >= epochs_.size()) return nullptr;
     return epochs_[e];
   }
 
   std::shared_ptr<const Snapshot> Latest() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return epochs_.empty() ? nullptr : epochs_.back();
   }
 
   std::size_t epoch_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return epochs_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<const Snapshot>> epochs_;
+  mutable AnnotatedMutex mu_;
+  std::vector<std::shared_ptr<const Snapshot>> epochs_ SJOIN_GUARDED_BY(mu_);
+  contracts::Monotone install_order_ SJOIN_GUARDED_BY(mu_);
 };
 
 /// A node-local MRU cache over a QueryEpochRegistry. During steady state

@@ -19,10 +19,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/vec_deque.hpp"
 #include "stream/trace.hpp"
 #include "stream/window.hpp"
 
@@ -115,7 +115,10 @@ class ExpiryTracker {
   };
 
   WindowSpec wr_, ws_;
-  std::deque<Live> live_r_, live_s_;
+  // Live windows are pure FIFOs (push_back on arrival, pop_front on
+  // expiry); VecDeque keeps them contiguous — the online feeders walk this
+  // on every arrival, and std::deque is banned from hot-path dirs.
+  VecDeque<Live> live_r_, live_s_;
 };
 
 /// Translates a trace into the full driver script.

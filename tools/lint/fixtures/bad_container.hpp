@@ -1,0 +1,14 @@
+// Negative lint fixture: std::deque (and std::map/std::unordered_map) in a
+// hot-path dir must trip the hot-path-container rule.
+// LINT_AS: src/stream/bad_container.hpp
+#pragma once
+
+#include <deque>
+
+namespace sjoin_fixture {
+
+struct PendingQueue {
+  std::deque<int> pending;  // BAD: node-chunked layout on the hot path
+};
+
+}  // namespace sjoin_fixture

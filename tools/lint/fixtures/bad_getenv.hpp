@@ -1,0 +1,15 @@
+// Negative lint fixture: a bare std::getenv outside src/common/env.hpp
+// must trip the env-knob rule — knobs are read through the parse-and-warn
+// helpers so a misspelled value never silently selects the wrong path.
+// LINT_AS: src/runtime/bad_getenv.hpp
+#pragma once
+
+#include <cstdlib>
+
+namespace sjoin_fixture {
+
+inline bool FastModeRequested() {
+  return std::getenv("SJOIN_FAST_MODE") != nullptr;  // BAD: bare getenv
+}
+
+}  // namespace sjoin_fixture

@@ -1,0 +1,24 @@
+// Negative lint fixture: a raw std::mutex / std::lock_guard outside
+// src/common/thread_annotations.hpp must trip the raw-mutex rule — locks
+// go through AnnotatedMutex/MutexLock so clang's -Wthread-safety analysis
+// can see them.
+// LINT_AS: src/stream/bad_mutex.hpp
+#pragma once
+
+#include <mutex>
+
+namespace sjoin_fixture {
+
+class SharedCounter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // BAD: analysis-blind guard
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // BAD: raw mutex, invisible to -Wthread-safety
+  long count_ = 0;
+};
+
+}  // namespace sjoin_fixture

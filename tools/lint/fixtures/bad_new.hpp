@@ -1,0 +1,19 @@
+// Negative lint fixture: raw new/delete expressions outside
+// src/runtime/mempolicy.cpp must trip the raw-new-delete rule — page
+// memory flows through AllocatePages/FreePages, object ownership through
+// std::unique_ptr. (Placement-new is allowed and not present here.)
+// LINT_AS: src/core/bad_new.hpp
+#pragma once
+
+namespace sjoin_fixture {
+
+struct Buffer {
+  int* data = nullptr;
+
+  void Grow(unsigned n) {
+    delete[] data;    // BAD: raw delete-expression
+    data = new int[n];  // BAD: raw new-expression
+  }
+};
+
+}  // namespace sjoin_fixture

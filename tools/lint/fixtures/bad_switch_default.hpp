@@ -1,0 +1,24 @@
+// Negative lint fixture: a `default:` label in a switch over MsgKind must
+// trip the switch-default rule — it would silently swallow newly added
+// punctuation kinds instead of failing -Wswitch.
+// LINT_AS: src/llhj/bad_switch_default.hpp
+#pragma once
+
+namespace sjoin_fixture {
+
+enum class MsgKind { kArrival, kAck };
+
+struct Msg {
+  MsgKind kind;
+};
+
+inline int Handle(const Msg& msg) {
+  switch (msg.kind) {
+    case MsgKind::kArrival:
+      return 1;
+    default:  // BAD: swallows future kinds
+      return 0;
+  }
+}
+
+}  // namespace sjoin_fixture
