@@ -440,6 +440,10 @@ class HsjNode : public Steppable {
     }
     // Entries stored under a later epoch than the probe: evaluate under the
     // entry's snapshot (free outside transitions via max_epoch early-out).
+    // Every store visits these newest-first (descending Seq — pinned by
+    // test_stores.cpp); emission here is order-independent regardless, as
+    // each entry is evaluated against all k probes in isolation and the
+    // collector orders results by (probe seq, entry seq), not visit order.
     ws_.ForEachEpochAfter(pe, [&](const StoreEntry<S>& entry) {
       const Snapshot* es = SnapshotFor(entry.tuple.epoch);
       if (es == nullptr) return;
@@ -473,6 +477,8 @@ class HsjNode : public Steppable {
             EmitResult(entry.tuple, ss[j], snap->GlobalId(lane));
           });
     }
+    // Newest-first per the store epoch-walk contract; order-independent
+    // here (see the ws_ sweep above).
     wr_.ForEachEpochAfter(pe, [&](const StoreEntry<R>& entry) {
       const Snapshot* es = SnapshotFor(entry.tuple.epoch);
       if (es == nullptr) return;

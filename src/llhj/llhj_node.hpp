@@ -502,7 +502,10 @@ class LlhjNode : public Steppable {
     // Rare (only while an install is in flight): entries stored under a
     // later epoch than a probe that lingered in the channels. Scalar sweep
     // under the entry's snapshot; the store's max_epoch early-out makes
-    // this free in steady state.
+    // this free in steady state. Every store visits newest-first
+    // (descending Seq — pinned by test_stores.cpp); emission here is
+    // order-independent regardless, as each entry is evaluated against all
+    // k probes in isolation and result ordering is restored downstream.
     ws_.ForEachEpochAfter(pe, [&](const StoreEntry<S>& entry) {
       const Snapshot* es = SnapshotFor(entry.tuple.epoch);
       if (es == nullptr) return;
@@ -538,6 +541,8 @@ class LlhjNode : public Steppable {
             EmitResult(entry.tuple, ss[j], snap->GlobalId(lane));
           });
     }
+    // Newest-first per the store epoch-walk contract; order-independent
+    // here (see the ws_ sweep above).
     wr_.ForEachEpochAfter(pe, [&](const StoreEntry<R>& entry) {
       if (entry.expedited) return;
       const Snapshot* es = SnapshotFor(entry.tuple.epoch);

@@ -9,9 +9,14 @@
 //    the probe scan walks at most two contiguous segments.
 //  * HashStore   — hash index keyed on the join attribute for equi-joins
 //    (the Table 2 "with index" configuration). Entries live in a slot slab
-//    with intrusive per-key chains; two flat open-addressing tables map
-//    join-key -> chain and seq -> slot, so expiry and expedition-end
-//    handling are O(1) with no per-node allocation.
+//    indexed by a lane-grouped key table (llhj/group_table.hpp): 8 keys +
+//    8 slot refs per group, probed 8-wide with the packed grouped-equality
+//    kernels, Swiss-table/F14 style. A flat seq -> slot table keeps expiry
+//    and expedition-end handling O(1) with no per-node allocation.
+//  * ChainHashStore — the pre-grouping implementation (intrusive per-key
+//    chains, one pointer chase per duplicate). Kept verbatim as the
+//    equivalence oracle and the chain-walk baseline the ablation bench
+//    measures the grouped probe path against; not used by any pipeline.
 //
 // R-side stores additionally carry the *expedition flag* of Section 4.2.3:
 // entries stay "expedited" until the tuple's expedition-end message returns
@@ -44,6 +49,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <map>
 #include <type_traits>
@@ -52,6 +58,8 @@
 #include "common/flat_hash.hpp"
 #include "common/simd.hpp"
 #include "common/types.hpp"
+#include "llhj/group_table.hpp"
+#include "runtime/mempolicy.hpp"
 #include "stream/query_set.hpp"
 
 namespace sjoin {
@@ -196,6 +204,10 @@ class VectorStore {
     return n;
   }
 
+  /// Which mempolicy rung backs the SoA key lanes (pages below the
+  /// huge-page threshold, THP/hugetlb above it; kNone before first Grow).
+  SlabBacking lane_backing() const { return lane_seq_.backing(); }
+
   // -- FIFO access (HSJ window segments ride on the same ring) ---------------
 
   const StoreEntry<T>& Front() const { return At(0); }
@@ -301,7 +313,7 @@ class VectorStore {
   void Grow() {
     const std::size_t new_cap = entries_.empty() ? 16 : entries_.size() * 2;
     std::vector<StoreEntry<T>> next(new_cap);
-    std::vector<Seq> next_seq(new_cap);
+    SlabArray<Seq> next_seq(new_cap);
     for (std::size_t i = 0; i < size_; ++i) {
       const std::size_t from = (head_ + i) & mask_;
       next[i] = entries_[from];
@@ -310,9 +322,9 @@ class VectorStore {
     entries_ = std::move(next);
     lane_seq_ = std::move(next_seq);
     if constexpr (kHasLanes) {
-      std::vector<int32_t> next_k0(new_cap);
-      std::vector<float> next_k1;
-      if constexpr (Lanes::kHasF32) next_k1.resize(new_cap);
+      SlabArray<int32_t> next_k0(new_cap);
+      SlabArray<float> next_k1;
+      if constexpr (Lanes::kHasF32) next_k1.Reset(new_cap);
       for (std::size_t i = 0; i < size_; ++i) {
         const std::size_t from = (head_ + i) & mask_;
         next_k0[i] = lane_k0_[from];
@@ -328,22 +340,211 @@ class VectorStore {
   std::vector<StoreEntry<T>> entries_;
   // SoA key lanes mirroring the ring (same indexing as entries_): the Seq
   // lane always (packed expiry search), the predicate key lanes only for
-  // types with a SimdEntryLanes mapping.
-  std::vector<Seq> lane_seq_;
-  std::vector<int32_t> lane_k0_;
-  std::vector<float> lane_k1_;
+  // types with a SimdEntryLanes mapping. Slab-backed (mempolicy ladder) so
+  // big windows sit on huge pages — fewer TLB misses on the block sweeps.
+  SlabArray<Seq> lane_seq_;
+  SlabArray<int32_t> lane_k0_;
+  SlabArray<float> lane_k1_;
   std::size_t mask_ = 0;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
   Epoch max_epoch_ = 0;
 };
 
-/// Hash index store for equi-joins. OwnKey extracts the key from this
-/// store's tuple type; ProbeKey extracts it from the probing (opposite
-/// stream) tuple type. ForEach visits only the matching chain, in
-/// insertion order. Erase/clear are O(1) via the seq -> slot table.
+/// Hash index store for equi-joins, built on the lane-grouped key table
+/// (llhj/group_table.hpp). OwnKey extracts the key from this store's tuple
+/// type; ProbeKey extracts it from the probing (opposite stream) tuple
+/// type. ForEach visits only entries with the matching key, in insertion
+/// order — the table's order invariant (inserts never reuse tombstoned
+/// lanes, so a key's lanes sit at strictly increasing scan positions)
+/// makes the candidate walk yield insertion order by construction: no
+/// sort, no Seq gather, no entry-slab touch before emission (DESIGN.md
+/// Section 15). Erase/clear are O(1) via the seq -> slot table plus a
+/// tombstone flip in the key table.
 template <typename T, typename OwnKey, typename ProbeKey>
 class HashStore {
+ public:
+  void Insert(const Stamped<T>& t, bool expedited) {
+    const int64_t key = OwnKey{}(t.value);
+    const int32_t slot = AllocSlot();
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.entry = StoreEntry<T>{t, expedited};
+    s.key = key;
+    table_.Insert(key, slot);
+    seq_index_.Insert(t.seq, slot);
+    if (t.epoch > max_epoch_) max_epoch_ = t.epoch;
+    ++size_;
+  }
+
+  bool EraseSeq(Seq seq) {
+    const int32_t* found = seq_index_.Find(seq);
+    if (found == nullptr) return false;
+    const int32_t slot = *found;
+    table_.Erase(slots_[static_cast<std::size_t>(slot)].key, slot);
+    seq_index_.Erase(seq);
+    free_.push_back(slot);
+    --size_;
+    return true;
+  }
+
+  bool ClearExpedited(Seq seq) {
+    const int32_t* found = seq_index_.Find(seq);
+    if (found == nullptr) return false;
+    slots_[static_cast<std::size_t>(*found)].entry.expedited = false;
+    return true;
+  }
+
+  template <typename Probe, typename F>
+  void ForEach(const Probe& probe, F&& f) const {
+    ProbeInsertionOrder(ProbeKey{}(probe), f);
+  }
+
+  /// Batch probe fused with query evaluation (same shape as
+  /// VectorStore::MatchBatch so the pipeline nodes are store-agnostic).
+  /// Genuinely batched, per chunk of 32 probes:
+  ///   1. hash every probe key and prefetch its home cluster (ctrl, key
+  ///      and ref lines — the table walk's only cold loads);
+  ///   2. group-scan 8+ candidate keys per packed compare, collecting refs
+  ///      for the whole chunk — already in per-key insertion order (the
+  ///      table's order invariant); the scattered entry slab is untouched
+  ///      so far;
+  ///   3. emit probe by probe, prefetching the NEXT probe's slots while
+  ///      the current one's entries run through QuerySet::MatchOriented —
+  ///      each entry line is touched exactly once, with a probe's worth of
+  ///      prefetch lead (the chain walk's dependent next-pointer chase
+  ///      can overlap none of this — the measured gap in
+  ///      bench/ablation_simd_probe.cpp equi_hash).
+  /// Identical result sets at every SIMD level (the kernels share the
+  /// scalar's arithmetic). Not reentrant: callbacks must not probe this
+  /// store (single owning node thread; see the concurrency contract).
+  template <bool kProbeIsLeft, typename Pred, typename ProbeT, typename F>
+  void MatchBatch(const QuerySet<Pred>& queries, const Stamped<ProbeT>* probes,
+                  std::size_t k, F&& f) const {
+    std::array<int64_t, kProbeChunk> keys;
+    std::array<uint32_t, kProbeChunk + 1> bounds;
+    for (std::size_t base = 0; base < k; base += kProbeChunk) {
+      const std::size_t m = std::min(kProbeChunk, k - base);
+      for (std::size_t j = 0; j < m; ++j) {
+        keys[j] = ProbeKey{}(probes[base + j].value);
+        table_.PrefetchKey(keys[j]);
+      }
+      refs_buf_.clear();
+      for (std::size_t j = 0; j < m; ++j) {
+        bounds[j] = static_cast<uint32_t>(refs_buf_.size());
+        table_.ForEachCandidate(
+            keys[j], [&](int32_t ref) { refs_buf_.push_back(ref); });
+      }
+      bounds[m] = static_cast<uint32_t>(refs_buf_.size());
+      PrefetchSlots(bounds[0], bounds[1]);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j + 1 < m) PrefetchSlots(bounds[j + 1], bounds[j + 2]);
+        for (uint32_t i = bounds[j]; i < bounds[j + 1]; ++i) {
+          const StoreEntry<T>& entry =
+              slots_[static_cast<std::size_t>(refs_buf_[i])].entry;
+          queries.template MatchOriented<kProbeIsLeft>(
+              probes[base + j].value, entry.tuple.value,
+              [&](QueryId q) { f(base + j, q, entry); });
+        }
+      }
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+  Epoch max_epoch() const { return max_epoch_; }
+
+  /// Visits every live entry pushed under an epoch later than `e`,
+  /// newest-first (strictly descending Seq) — the same order as
+  /// VectorStore's epoch walk, pinned by test_stores.cpp so every store is
+  /// interchangeable under the epoch re-sweep in the nodes. The
+  /// `max_epoch() <= e` early-out makes this free except during an epoch
+  /// transition (then it is O(live entries) for the handful of probes that
+  /// predate the boundary).
+  template <typename F>
+  void ForEachEpochAfter(Epoch e, F&& f) const {
+    if (max_epoch_ <= e) return;
+    std::vector<int32_t> newer;
+    seq_index_.ForEach([&](const Seq&, const int32_t& slot) {
+      if (slots_[static_cast<std::size_t>(slot)].entry.tuple.epoch > e) {
+        newer.push_back(slot);
+      }
+    });
+    std::sort(newer.begin(), newer.end(), [&](int32_t a, int32_t b) {
+      return slots_[static_cast<std::size_t>(a)].entry.tuple.seq >
+             slots_[static_cast<std::size_t>(b)].entry.tuple.seq;
+    });
+    for (const int32_t slot : newer) {
+      f(slots_[static_cast<std::size_t>(slot)].entry);
+    }
+  }
+
+  // -- introspection (tests, bench) ------------------------------------------
+
+  std::size_t group_count() const { return table_.group_count(); }
+  std::size_t tombstone_lanes() const { return table_.tombstone_lanes(); }
+  SlabBacking slab_backing() const { return table_.backing(); }
+
+ private:
+  /// Probe batch chunk: bounds the gather buffer while still giving the
+  /// prefetches of a full pipeline step (msgs_per_step-sized batches) time
+  /// to land before their group is scanned.
+  static constexpr std::size_t kProbeChunk = 32;
+
+  struct Slot {
+    StoreEntry<T> entry;
+    int64_t key = 0;  ///< join key, for the table-side erase
+  };
+
+  /// Issues prefetches for the slot lines of refs_buf_[from, to).
+  void PrefetchSlots(uint32_t from, uint32_t to) const {
+    for (uint32_t i = from; i < to; ++i) {
+      __builtin_prefetch(&slots_[static_cast<std::size_t>(refs_buf_[i])]);
+    }
+  }
+
+  /// Visits every entry whose key equals `key`, in insertion order — the
+  /// table's candidate walk already yields it (the single-probe path:
+  /// ForEach; MatchBatch pipelines candidate collection and slot prefetch
+  /// across its whole chunk instead).
+  template <typename F>
+  void ProbeInsertionOrder(int64_t key, F&& f) const {
+    table_.ForEachCandidate(key, [&](int32_t ref) {
+      f(slots_[static_cast<std::size_t>(ref)].entry);
+    });
+  }
+
+  int32_t AllocSlot() {
+    if (!free_.empty()) {
+      const int32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<int32_t>(slots_.size() - 1);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<int32_t> free_;
+  GroupTable<int64_t> table_;
+  FlatMap<Seq, int32_t> seq_index_;
+  std::size_t size_ = 0;
+  Epoch max_epoch_ = 0;
+  /// Scratch reused across probes (no per-probe allocation): the candidate
+  /// refs collected per chunk, already in per-probe insertion order.
+  /// Stores are owned by a single node thread (external synchronization —
+  /// see the concurrency contract in DESIGN.md), so const probes may reuse
+  /// it; probes are not reentrant.
+  mutable std::vector<int32_t> refs_buf_;
+};
+
+/// The pre-grouping hash store: slot slab with intrusive per-key chains,
+/// one pointer chase per duplicate, probe-major scalar MatchBatch. Kept as
+/// (a) the equivalence oracle the grouped store is fuzzed against in
+/// tests/test_store_equivalence.cpp and (b) the chain-walk baseline
+/// bench/ablation_simd_probe.cpp measures the grouped probe path over. No
+/// pipeline instantiates it.
+template <typename T, typename OwnKey, typename ProbeKey>
+class ChainHashStore {
  public:
   void Insert(const Stamped<T>& t, bool expedited) {
     const int64_t key = OwnKey{}(t.value);
@@ -407,10 +608,9 @@ class HashStore {
     }
   }
 
-  /// Batch probe fused with query evaluation (same shape as
-  /// VectorStore::MatchBatch so the pipeline nodes are store-agnostic).
-  /// A hash index visits a per-probe chain — no shared walk to amortize —
-  /// so this stays probe-major scalar; the chains are short by construction.
+  /// Probe-major scalar: one chain walk per probe, one pointer chase per
+  /// stored duplicate — the behavior the grouped MatchBatch is benched
+  /// against.
   template <bool kProbeIsLeft, typename Pred, typename ProbeT, typename F>
   void MatchBatch(const QuerySet<Pred>& queries, const Stamped<ProbeT>* probes,
                   std::size_t k, F&& f) const {
@@ -427,18 +627,24 @@ class HashStore {
 
   Epoch max_epoch() const { return max_epoch_; }
 
-  /// Visits every live entry pushed under an epoch later than `e`. A hash
-  /// store has no epoch ordering, so this walks the live seq index — the
-  /// `max_epoch() <= e` early-out makes it free except during an epoch
-  /// transition (then it is O(live entries) for the handful of probes that
-  /// predate the boundary).
+  /// Newest-first, matching HashStore/VectorStore (the ordering contract
+  /// test sweeps every store type).
   template <typename F>
   void ForEachEpochAfter(Epoch e, F&& f) const {
     if (max_epoch_ <= e) return;
+    std::vector<int32_t> newer;
     seq_index_.ForEach([&](const Seq&, const int32_t& slot) {
-      const StoreEntry<T>& entry = slots_[static_cast<std::size_t>(slot)].entry;
-      if (entry.tuple.epoch > e) f(entry);
+      if (slots_[static_cast<std::size_t>(slot)].entry.tuple.epoch > e) {
+        newer.push_back(slot);
+      }
     });
+    std::sort(newer.begin(), newer.end(), [&](int32_t a, int32_t b) {
+      return slots_[static_cast<std::size_t>(a)].entry.tuple.seq >
+             slots_[static_cast<std::size_t>(b)].entry.tuple.seq;
+    });
+    for (const int32_t slot : newer) {
+      f(slots_[static_cast<std::size_t>(slot)].entry);
+    }
   }
 
  private:
@@ -446,7 +652,7 @@ class HashStore {
 
   struct Slot {
     StoreEntry<T> entry;
-    int64_t key = 0;     ///< join key, for chain maintenance on erase
+    int64_t key = 0;      ///< join key, for chain maintenance on erase
     int32_t prev = kNil;  ///< previous slot in this key's chain
     int32_t next = kNil;  ///< next slot in this key's chain
   };

@@ -14,9 +14,23 @@
 // syscall is compiled out, or when the target node does not exist — callers
 // fall back to the portable consumer-side first-touch/warming pass (see
 // SpscQueue::PrefaultByConsumer).
+//
+// Huge-page slab ladder (rung (c) of the raw-speed ladder): AllocateSlab
+// serves the large flat allocations — grouped hash-table lane slabs,
+// VectorStore SoA key lanes — and walks MAP_HUGETLB -> THP madvise ->
+// AllocatePages, reporting which rung actually backed the memory so tests
+// and placement introspection can see it. Knobs (parse-and-warn via
+// common/env.hpp, re-read per allocation so tests can vary them):
+//
+//   SJOIN_HUGE_PAGES=0           — disable the huge rungs entirely
+//   SJOIN_HUGE_PAGE_MIN_BYTES=N  — huge rungs only at/above N bytes
+//                                  (default: one 2 MB huge page)
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
 
 namespace sjoin {
 
@@ -63,5 +77,114 @@ int CurrentNumaNode();
 /// mbind syscall compiled in). Purely informational; the Bind/Move calls
 /// are always safe to attempt.
 bool MemPolicySupported();
+
+// ---------------------------------------------------------------------------
+// Huge-page slabs
+// ---------------------------------------------------------------------------
+
+/// x86-64 small huge page; the granularity the huge rungs round up to.
+inline constexpr std::size_t kHugePageSize = 2u * 1024 * 1024;
+
+/// Which rung of the allocation ladder actually backed a slab.
+enum class SlabBacking : uint8_t {
+  kNone = 0,             ///< empty slab (no allocation)
+  kPages = 1,            ///< AllocatePages (4 KB pages, aligned operator new)
+  kTransparentHuge = 2,  ///< anonymous mmap + MADV_HUGEPAGE accepted
+  kHugeTlb = 3,          ///< reserved huge pages via MAP_HUGETLB
+};
+
+constexpr const char* ToString(SlabBacking backing) {
+  switch (backing) {
+    case SlabBacking::kNone:
+      return "none";
+    case SlabBacking::kPages:
+      return "pages";
+    case SlabBacking::kTransparentHuge:
+      return "thp";
+    case SlabBacking::kHugeTlb:
+      return "hugetlb";
+  }
+  return "?";
+}
+
+/// One flat allocation plus the bookkeeping FreeSlab needs. `bytes` is the
+/// rounded size actually mapped (>= the request). Storage is UNINITIALIZED
+/// regardless of rung (mmap zero-fills, operator new does not — callers
+/// must not rely on zeros).
+struct Slab {
+  void* addr = nullptr;
+  std::size_t bytes = 0;
+  SlabBacking backing = SlabBacking::kNone;
+};
+
+/// Allocates `bytes` (rounded up to the backing granularity) down the
+/// ladder MAP_HUGETLB -> THP madvise -> AllocatePages. The huge rungs are
+/// attempted only on Linux, when SJOIN_HUGE_PAGES is not disabled and the
+/// request meets SJOIN_HUGE_PAGE_MIN_BYTES; every failure falls through
+/// gracefully (no reserved huge pages and no THP support still yield a
+/// working slab on the pages rung). bytes == 0 returns an empty slab.
+Slab AllocateSlab(std::size_t bytes);
+
+/// Releases an AllocateSlab allocation via whichever rung backed it and
+/// resets *slab to empty. Safe on an empty slab.
+void FreeSlab(Slab* slab);
+
+/// Current knob values (re-read from the environment on every call).
+bool HugePagesEnabled();
+std::size_t HugePageThresholdBytes();
+
+/// A flat array of trivially-copyable elements on a slab — the backing for
+/// the grouped hash-table lanes and the VectorStore SoA key lanes. Move-only
+/// RAII over AllocateSlab/FreeSlab; elements are NOT constructed or zeroed
+/// (the element types in use are implicit-lifetime scalars whose live
+/// ranges the owning store tracks itself).
+template <typename T>
+class SlabArray {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "SlabArray elements must be trivial (no lifetimes to run)");
+
+ public:
+  SlabArray() = default;
+  explicit SlabArray(std::size_t count) { Reset(count); }
+  SlabArray(SlabArray&& other) noexcept
+      : slab_(other.slab_), count_(other.count_) {
+    other.slab_ = Slab{};
+    other.count_ = 0;
+  }
+  SlabArray& operator=(SlabArray&& other) noexcept {
+    if (this != &other) {
+      FreeSlab(&slab_);
+      slab_ = other.slab_;
+      count_ = other.count_;
+      other.slab_ = Slab{};
+      other.count_ = 0;
+    }
+    return *this;
+  }
+  SlabArray(const SlabArray&) = delete;
+  SlabArray& operator=(const SlabArray&) = delete;
+  ~SlabArray() { FreeSlab(&slab_); }
+
+  /// Frees the current storage and allocates room for `count` elements
+  /// (uninitialized). count == 0 leaves the array empty.
+  void Reset(std::size_t count) {
+    FreeSlab(&slab_);
+    count_ = count;
+    if (count != 0) slab_ = AllocateSlab(count * sizeof(T));
+  }
+
+  T* data() { return static_cast<T*>(slab_.addr); }
+  const T* data() const { return static_cast<const T*>(slab_.addr); }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  SlabBacking backing() const { return slab_.backing; }
+
+ private:
+  Slab slab_;
+  std::size_t count_ = 0;
+};
 
 }  // namespace sjoin

@@ -7,15 +7,22 @@
 // expiries oldest-first (with occasional out-of-order erases, the
 // tombstone-chase shape), expedition-ends in insertion order, lookups of
 // absent seqs — the same shapes the schedule fuzzer produces through whole
-// pipelines in test_schedules.cpp.
+// pipelines in test_schedules.cpp. The lane-grouped HashStore additionally
+// runs lock-step against the retained chain-walk baseline (ChainHashStore)
+// under tombstone-heavy churn, with batched-probe multiset checks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
+#include <set>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "llhj/group_table.hpp"
 #include "llhj/store.hpp"
+#include "stream/query_set.hpp"
 
 #include "test_util.hpp"
 
@@ -277,6 +284,140 @@ TEST(StoreEquivalence, FlatHashStoreMatchesSeedHashStore) {
       EXPECT_EQ(Snapshot(flat, key), Snapshot(ref, key)) << "key " << key;
     }
   }
+}
+
+// -- Grouped store vs chain baseline under tombstone churn -------------------
+
+// The lane-grouped HashStore against the retained chain-walk baseline
+// (ChainHashStore), in lock-step across every operation the store concept
+// exposes. The op mix is erase-heavy in bursts, so the grouped table
+// accumulates tombstoned lanes, crosses its 7/8 occupancy trigger, and
+// exercises both rehash shapes (same-size tombstone purge and doubling).
+// Two key domains: small forces long duplicate runs spilling the inline
+// candidate buffer; large forces displacement across many groups.
+TEST(StoreEquivalence, GroupedHashStoreMatchesChainStoreUnderChurn) {
+  using Crossing = std::tuple<std::size_t, QueryId, Seq>;
+  for (const int32_t key_domain : {4, 4096}) {
+    for (uint64_t trial = 1; trial <= 4; ++trial) {
+      Rng rng(trial * 9001 + static_cast<uint64_t>(key_domain));
+      HashStore<TR, TRKey, TSKey> grouped;
+      ChainHashStore<TR, TRKey, TSKey> chain;
+      Seq next_seq = 0;
+      std::deque<Seq> live;
+      std::deque<Seq> to_clear;
+      // Phases alternate: grow-heavy then erase-heavy (tombstone churn).
+      for (int op = 0; op < 5000; ++op) {
+        const bool grow_phase = (op / 500) % 2 == 0;
+        const double insert_p = grow_phase ? 0.7 : 0.25;
+        const double dice = rng.UniformDouble();
+        if (live.empty() || dice < insert_p) {
+          const int32_t key =
+              static_cast<int32_t>(rng.UniformInt(1, key_domain));
+          grouped.Insert(MakeTuple(key, next_seq), true);
+          chain.Insert(MakeTuple(key, next_seq), true);
+          live.push_back(next_seq);
+          to_clear.push_back(next_seq);
+          ++next_seq;
+        } else if (dice < insert_p + 0.15 && !to_clear.empty()) {
+          const Seq seq = to_clear.front();
+          to_clear.pop_front();
+          ASSERT_EQ(grouped.ClearExpedited(seq), chain.ClearExpedited(seq));
+        } else if (dice < 0.97) {
+          const std::size_t pick =
+              rng.Chance(0.85) ? 0
+                               : static_cast<std::size_t>(rng.UniformInt(
+                                     0, static_cast<int64_t>(live.size()) - 1));
+          const Seq seq = live[pick];
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+          ASSERT_EQ(grouped.EraseSeq(seq), chain.EraseSeq(seq));
+        } else {
+          ASSERT_EQ(grouped.EraseSeq(next_seq + 7),
+                    chain.EraseSeq(next_seq + 7));
+        }
+        ASSERT_EQ(grouped.size(), chain.size())
+            << "domain " << key_domain << " trial " << trial << " op " << op;
+        if (op % 128 == 0) {
+          // Per-key insertion-order snapshots on a handful of keys...
+          for (int32_t key = 1; key <= std::min(key_domain, 5); ++key) {
+            ASSERT_EQ(Snapshot(grouped, key), Snapshot(chain, key))
+                << "domain " << key_domain << " trial " << trial << " op "
+                << op << " key " << key;
+          }
+          // ...and a batched probe sweep including absent keys.
+          QuerySet<test::KeyEq> queries{test::KeyEq{}};
+          std::vector<Stamped<TS>> probes;
+          for (std::size_t j = 0; j < 12; ++j) {
+            Stamped<TS> p;
+            p.value.key =
+                static_cast<int32_t>(rng.UniformInt(1, key_domain + 2));
+            p.seq = j;
+            probes.push_back(p);
+          }
+          std::multiset<Crossing> got, want;
+          grouped.MatchBatch<false>(
+              queries, probes.data(), probes.size(),
+              [&](std::size_t j, QueryId q, const StoreEntry<TR>& e) {
+                got.insert({j, q, e.tuple.seq});
+              });
+          chain.MatchBatch<false>(
+              queries, probes.data(), probes.size(),
+              [&](std::size_t j, QueryId q, const StoreEntry<TR>& e) {
+                want.insert({j, q, e.tuple.seq});
+              });
+          ASSERT_EQ(got, want)
+              << "domain " << key_domain << " trial " << trial << " op " << op;
+        }
+      }
+    }
+  }
+}
+
+// The int32 GroupTable instantiation end-to-end (the store uses int64):
+// duplicate lanes, (key, ref) disambiguated erase, tombstone reuse,
+// same-size purge rehash, and candidate termination across dead groups.
+TEST(StoreEquivalence, GroupTableInt32InsertEraseProbe) {
+  GroupTable<int32_t> table;
+  EXPECT_EQ(table.size(), 0u);
+  // Oracle keeps each key's live refs in INSERTION order: the table's
+  // candidate walk must reproduce it exactly (the order invariant the
+  // store's probe path leans on — no sort on emission), across erases,
+  // tombstone accumulation, purges and growth rehashes.
+  std::unordered_map<int32_t, std::vector<int32_t>> oracle;
+  Rng rng(271828);
+  int32_t next_ref = 0;
+  std::vector<std::pair<int32_t, int32_t>> live;
+  for (int op = 0; op < 3000; ++op) {
+    if (live.empty() || rng.Chance(0.55)) {
+      const int32_t key = static_cast<int32_t>(rng.UniformInt(-8, 8));
+      table.Insert(key, next_ref);
+      oracle[key].push_back(next_ref);
+      live.emplace_back(key, next_ref);
+      ++next_ref;
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      const auto [key, ref] = live[pick];
+      EXPECT_TRUE(table.Erase(key, ref));
+      EXPECT_FALSE(table.Erase(key, ref));  // already tombstoned
+      auto& order = oracle[key];
+      order.erase(std::find(order.begin(), order.end(), ref));
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (op % 100 == 0) {
+      for (int32_t key = -9; key <= 9; ++key) {
+        std::vector<int32_t> got;
+        table.ForEachCandidate(key,
+                               [&](int32_t ref) { got.push_back(ref); });
+        const auto it = oracle.find(key);
+        ASSERT_EQ(got, it == oracle.end() ? std::vector<int32_t>{}
+                                          : it->second)
+            << "op " << op << " key " << key;
+      }
+      ASSERT_EQ(table.size(), live.size());
+    }
+  }
+  EXPECT_GT(table.group_count(), 2u);  // grew past kMinGroups
 }
 
 // -- Regression: ClearExpedited must not scan past the expedited suffix -----

@@ -155,6 +155,62 @@ std::vector<Seq> CollectOrdered(const TROrdered& store, int32_t probe_key) {
   return seqs;
 }
 
+// -- Epoch-walk ordering contract --------------------------------------------
+
+// ForEachEpochAfter visits exactly the live entries inserted under an epoch
+// later than `e`, NEWEST-FIRST (strictly descending Seq), on every store
+// type. The grouped HashStore's precursor walked its seq-index in hash
+// order here; the nodes tolerate any order (each entry is evaluated in
+// isolation), but the contract is pinned so stores stay interchangeable —
+// see llhj_node.hpp / hsj_node.hpp epoch re-sweep call sites.
+template <typename T>
+Stamped<T> MakeEpoch(int32_t key, Seq seq, Epoch epoch) {
+  Stamped<T> t = Make<T>(key, seq);
+  t.epoch = epoch;
+  return t;
+}
+
+template <typename Store>
+void CheckEpochWalkNewestFirst() {
+  Store store;
+  // Epochs are monotone in flow order (the runtime's invariant): seqs
+  // 0..29 under epoch 1, 30..59 under epoch 2, 60..89 under epoch 3.
+  for (Seq s = 0; s < 90; ++s) {
+    store.Insert(MakeEpoch<TR>(static_cast<int32_t>(s % 7), s, 1 + s / 30),
+                 false);
+  }
+  // Churn: expire a prefix plus scattered newer entries.
+  for (Seq s = 0; s < 10; ++s) ASSERT_TRUE(store.EraseSeq(s));
+  for (Seq s : {Seq{35}, Seq{61}, Seq{88}}) ASSERT_TRUE(store.EraseSeq(s));
+  EXPECT_EQ(store.max_epoch(), 3u);
+
+  for (Epoch e = 0; e <= 3; ++e) {
+    std::vector<Seq> visited;
+    store.ForEachEpochAfter(e, [&](const StoreEntry<TR>& entry) {
+      visited.push_back(entry.tuple.seq);
+    });
+    std::vector<Seq> expect;  // live entries with epoch > e, newest first
+    for (Seq s = 90; s > 0; --s) {
+      const Seq seq = s - 1;
+      if (seq < 10 || seq == 35 || seq == 61 || seq == 88) continue;
+      if (1 + seq / 30 > e) expect.push_back(seq);
+    }
+    EXPECT_EQ(visited, expect) << "epoch " << e;
+  }
+}
+
+TEST(EpochWalk, VectorStoreVisitsNewestFirst) {
+  CheckEpochWalkNewestFirst<VectorStore<TR>>();
+}
+
+TEST(EpochWalk, GroupedHashStoreVisitsNewestFirst) {
+  CheckEpochWalkNewestFirst<HashStore<TR, TRKey, TSKey>>();
+}
+
+TEST(EpochWalk, ChainHashStoreVisitsNewestFirst) {
+  CheckEpochWalkNewestFirst<ChainHashStore<TR, TRKey, TSKey>>();
+}
+
 TEST(OrderedStore, RangeProbeVisitsOnlyBand) {
   TROrdered store;
   store.Insert(Make<TR>(1, 0), false);
